@@ -1,0 +1,316 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// section, plus ablation benches for the design choices DESIGN.md calls
+// out. Each BenchmarkTable*/BenchmarkFig* runs a scaled-down version of the
+// corresponding experiment and reports the headline numbers as custom
+// metrics (units chosen so "lower is better" where the paper's bars are
+// normalized response times).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// For higher-fidelity numbers use cmd/gcsbench with -requests/-repeats.
+package gcsteering_test
+
+import (
+	"testing"
+
+	"gcsteering"
+	"gcsteering/internal/harness"
+	"gcsteering/internal/trace"
+	"gcsteering/internal/workload"
+)
+
+// benchOptions are the scaled-down experiment options shared by the
+// figure benches.
+func benchOptions() harness.Options {
+	return harness.Options{MaxRequests: 3000, Workers: 0}
+}
+
+// BenchmarkTable1TraceCharacteristics regenerates Table I: it synthesizes
+// every profile and reports the worst relative error of the read ratio and
+// mean request size against the published values.
+func BenchmarkTable1TraceCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var worstRatio, worstSize float64
+		for _, p := range workload.All() {
+			tr, err := workload.Generate(p, workload.Options{
+				Capacity:    4 << 30,
+				MaxRequests: 20000,
+				Seed:        int64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := trace.ComputeStats(tr)
+			if d := abs(s.ReadRatio - p.ReadRatio); d > worstRatio {
+				worstRatio = d
+			}
+			if d := abs(s.AvgSizeKB-p.AvgReqKB) / p.AvgReqKB; d > worstSize {
+				worstSize = d
+			}
+		}
+		b.ReportMetric(worstRatio, "read-ratio-err")
+		b.ReportMetric(worstSize, "avg-size-rel-err")
+	}
+}
+
+// BenchmarkFig2PageTypes regenerates Figure 2: the share of reads on
+// read-intensive pages and writes on write-intensive pages, averaged over
+// the enterprise traces (paper: 89.8% and 95.5%).
+func BenchmarkFig2PageTypes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sumR, sumW float64
+		n := 0
+		for _, p := range workload.Enterprise() {
+			tr, err := workload.Generate(p, workload.Options{
+				Capacity:    4 << 30,
+				MaxRequests: 20000,
+				Seed:        int64(i + 7),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := trace.ClassifyPages(tr, 4096, 0.9)
+			sumR += c.ReadShare(trace.ClassRI)
+			sumW += c.WriteShare(trace.ClassWI)
+			n++
+		}
+		b.ReportMetric(100*sumR/float64(n), "reads-on-RI-%")
+		b.ReportMetric(100*sumW/float64(n), "writes-on-WI-%")
+	}
+}
+
+// BenchmarkFig7aResponseTime regenerates Figure 7a: the geometric-mean
+// response time of GGC and GC-Steering normalized to LGC across the eight
+// workloads (paper: GC-Steering at roughly 0.37× LGC; here the shape —
+// below 1 and below GGC — is the reproduction target).
+func BenchmarkFig7aResponseTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gm := g.GeoMeanNormalized("LGC")
+		b.ReportMetric(gm["GGC"], "GGC-vs-LGC")
+		b.ReportMetric(gm["GC-Steering"], "steering-vs-LGC")
+	}
+}
+
+// BenchmarkFig7bGCCounts regenerates Figure 7b: total GC episode counts
+// normalized to LGC (paper: GGC much larger, GC-Steering unchanged).
+func BenchmarkFig7bGCCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.Fig7(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		counts := g.Aux["GC count (episodes)"]
+		var lgc, ggc, steer float64
+		for _, w := range g.Workloads {
+			lgc += counts[harness.Cell{Workload: w, Variant: "LGC"}]
+			ggc += counts[harness.Cell{Workload: w, Variant: "GGC"}]
+			steer += counts[harness.Cell{Workload: w, Variant: "GC-Steering"}]
+		}
+		b.ReportMetric(ggc/lgc, "GGC-gc-vs-LGC")
+		b.ReportMetric(steer/lgc, "steering-gc-vs-LGC")
+	}
+}
+
+// BenchmarkFig8NumSSDs regenerates Figure 8: GC-Steering's mean response
+// time on 7 SSDs normalized to 5 SSDs (paper: decreases with more SSDs).
+func BenchmarkFig8NumSSDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.Fig8(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.GeoMeanNormalized("5 SSDs")["7 SSDs"], "7ssd-vs-5ssd")
+	}
+}
+
+// BenchmarkFig9StripeUnit regenerates Figure 9: response time at 4 KB and
+// 128 KB stripe units normalized to 64 KB (paper: no consistent pattern).
+func BenchmarkFig9StripeUnit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.Fig9(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gm := g.GeoMeanNormalized("64KB")
+		b.ReportMetric(gm["4KB"], "4KB-vs-64KB")
+		b.ReportMetric(gm["128KB"], "128KB-vs-64KB")
+	}
+}
+
+// BenchmarkFig10StagingSpace regenerates Figure 10: Dedicated staging
+// normalized to Reserved (the paper measures Reserved ahead; see
+// EXPERIMENTS.md for why the simulator's ordering differs).
+func BenchmarkFig10StagingSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.GeoMeanNormalized("Reserved")["Dedicated"], "dedicated-vs-reserved")
+	}
+}
+
+// BenchmarkFig11Reconstruction regenerates Figure 11: the mean user
+// response time during RAID rebuild normalized to the no-rebuild state,
+// per scheme (paper: LGC +45.6%, GGC +47.3%, Steering Reserved −55.7%,
+// Dedicated −10.1%).
+func BenchmarkFig11Reconstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		norm := g.Aux["normalized to normal state"]
+		report := func(variant, metric string) {
+			sum, n := 0.0, 0
+			for _, w := range g.Workloads {
+				if v, ok := norm[harness.Cell{Workload: w, Variant: variant}]; ok {
+					sum += v
+					n++
+				}
+			}
+			if n > 0 {
+				b.ReportMetric(sum/float64(n), metric)
+			}
+		}
+		report("LGC", "LGC-rebuild-ratio")
+		report("GGC", "GGC-rebuild-ratio")
+		report("GC-Steering(Reserved)", "steer-res-ratio")
+		report("GC-Steering(Dedicated)", "steer-ded-ratio")
+	}
+}
+
+// BenchmarkRAID6Extension exercises the future-work RAID6 configuration.
+func BenchmarkRAID6Extension(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchOptions()
+		o.Seed = int64(i)
+		g, err := harness.RAID6(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(g.GeoMeanNormalized("LGC")["GC-Steering"], "steering-vs-LGC-raid6")
+	}
+}
+
+// --- Ablation benches -----------------------------------------------------
+
+// ablationRun replays one workload under a steering config variant and
+// returns the mean response time in µs.
+func ablationRun(b *testing.B, wl string, seed int64, mutate func(*gcsteering.Config)) float64 {
+	b.Helper()
+	cfg := harness.BaseConfig()
+	cfg.Scheme = gcsteering.SchemeSteering
+	cfg.Seed += seed
+	mutate(&cfg)
+	sys, err := gcsteering.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := sys.GenerateWorkload(wl, 3000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sys.Replay(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Latency.Mean / 1e3
+}
+
+// BenchmarkAblationHotReadMigration compares steering with and without the
+// proactive hot-read migration (paper §III-B's Popular Data Identifier).
+func BenchmarkAblationHotReadMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationRun(b, "Fin1", int64(i), func(c *gcsteering.Config) {})
+		off := ablationRun(b, "Fin1", int64(i), func(c *gcsteering.Config) { c.MigrateHotReads = false })
+		b.ReportMetric(off/on, "no-migration-vs-full")
+	}
+}
+
+// BenchmarkAblationReclaimMerge compares merged vs page-at-a-time reclaim
+// write-back (paper §III-C's merge optimization).
+func BenchmarkAblationReclaimMerge(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationRun(b, "prxy_0", int64(i), func(c *gcsteering.Config) {})
+		off := ablationRun(b, "prxy_0", int64(i), func(c *gcsteering.Config) { c.ReclaimMerge = false })
+		b.ReportMetric(off/on, "no-merge-vs-merge")
+	}
+}
+
+// BenchmarkAblationGCAwareWrites compares the controller's reconstruct-
+// write GC avoidance against classic RMW-only behaviour.
+func BenchmarkAblationGCAwareWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		on := ablationRun(b, "Fin1", int64(i), func(c *gcsteering.Config) {})
+		off := ablationRun(b, "Fin1", int64(i), func(c *gcsteering.Config) { c.DisableGCAwareWrites = true })
+		b.ReportMetric(off/on, "rmw-only-vs-gc-aware")
+	}
+}
+
+// BenchmarkAblationHotFrac sweeps the migration cap (paper fixes 10%).
+func BenchmarkAblationHotFrac(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := ablationRun(b, "hm_0", int64(i), func(c *gcsteering.Config) {})
+		small := ablationRun(b, "hm_0", int64(i), func(c *gcsteering.Config) { c.HotFrac = 0.01 })
+		big := ablationRun(b, "hm_0", int64(i), func(c *gcsteering.Config) { c.HotFrac = 0.5 })
+		b.ReportMetric(small/base, "hot1%-vs-hot10%")
+		b.ReportMetric(big/base, "hot50%-vs-hot10%")
+	}
+}
+
+// BenchmarkAblationColdStream evaluates multi-stream separation of the
+// staging region.
+func BenchmarkAblationColdStream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		off := ablationRun(b, "Fin1", int64(i), func(c *gcsteering.Config) {})
+		on := ablationRun(b, "Fin1", int64(i), func(c *gcsteering.Config) { c.ColdStreamStaging = true })
+		b.ReportMetric(on/off, "coldstream-vs-shared")
+	}
+}
+
+// BenchmarkEndToEndReplay measures raw simulator throughput: simulated
+// requests processed per wall-clock second for a full steering stack.
+func BenchmarkEndToEndReplay(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := harness.BaseConfig()
+		cfg.Seed = int64(i + 1)
+		sys, err := gcsteering.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := sys.GenerateWorkload("Fin1", 5000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Replay(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,112 @@
+// Command gcsbench regenerates the tables and figures of the paper's
+// evaluation section from the simulator.
+//
+// Usage:
+//
+//	gcsbench -experiment fig7a [-requests 20000] [-workers 8] [-seed 1]
+//
+// Experiments: table1, fig1 (variability timeline), fig2, fig7a, fig7b (an
+// alias of fig7a's run that highlights GC counts), fig8, fig9, fig10,
+// fig11, raid6 (the future-work extension), endurance, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gcsteering/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|all")
+		requests   = flag.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
+		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		seed       = flag.Int64("seed", 0, "seed offset for replication")
+		repeats    = flag.Int("repeats", 1, "average each cell over this many seeds")
+	)
+	flag.Parse()
+	o := harness.Options{MaxRequests: *requests, Workers: *workers, Seed: *seed, Repeats: *repeats}
+
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			s, err := harness.Fig1(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+		case "endurance":
+			s, err := harness.Endurance(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+		case "table1":
+			s, err := harness.Table1(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+		case "fig2":
+			s, err := harness.Fig2(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+		case "fig7a", "fig7b", "fig7":
+			g, err := harness.Fig7(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render("LGC"))
+		case "fig8":
+			g, err := harness.Fig8(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render("5 SSDs"))
+		case "fig9":
+			g, err := harness.Fig9(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render("64KB"))
+		case "fig10":
+			g, err := harness.Fig10(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render("Reserved"))
+		case "fig11":
+			g, err := harness.Fig11(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render(""))
+		case "raid6":
+			g, err := harness.RAID6(o)
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render("LGC"))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"table1", "fig1", "fig2", "fig7a", "fig8", "fig9", "fig10", "fig11", "raid6", "endurance"}
+	}
+	for _, n := range names {
+		if err := run(strings.ToLower(n)); err != nil {
+			fmt.Fprintf(os.Stderr, "gcsbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command tracegen synthesizes the paper's Table I workloads as trace
+// files on disk, in MSR Cambridge CSV or SPC-1 format, so they can be
+// replayed by gcsbench, inspected with traceinfo, or fed to other tools.
+//
+// Usage:
+//
+//	tracegen -workload Fin1 -requests 100000 -capacity-gb 4 -format msr -out fin1.csv
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcsteering/internal/trace"
+	"gcsteering/internal/workload"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "Fin1", "Table I workload name")
+		requests = flag.Int("requests", 100000, "number of requests to emit (0 = the full published count)")
+		capGB    = flag.Float64("capacity-gb", 4, "target volume capacity in GiB")
+		format   = flag.String("format", "msr", "output format: msr | spc")
+		out      = flag.String("out", "-", "output file (- = stdout)")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workload   read%   requests    avg KB")
+		for _, p := range workload.All() {
+			fmt.Printf("%-9s %5.1f%%  %10d  %8.1f\n", p.Name, 100*p.ReadRatio, p.Requests, p.AvgReqKB)
+		}
+		return
+	}
+
+	p, ok := workload.ByName(*name)
+	if !ok {
+		fatalf("unknown workload %q; try -list", *name)
+	}
+	tr, err := workload.Generate(p, workload.Options{
+		Capacity:    int64(*capGB * float64(1<<30)),
+		MaxRequests: *requests,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("create: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "msr":
+		err = trace.WriteMSR(w, tr)
+	case "spc":
+		err = trace.WriteSPC(w, tr)
+	default:
+		fatalf("unknown format %q (msr|spc)", *format)
+	}
+	if err != nil {
+		fatalf("write: %v", err)
+	}
+	s := trace.ComputeStats(tr)
+	fmt.Fprintf(os.Stderr, "tracegen: %s: %d requests, %.1f%% reads, avg %.1f KB, %.1fs span\n",
+		p.Name, s.Requests, 100*s.ReadRatio, s.AvgSizeKB, s.Duration.Seconds())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command traceinfo prints the paper's Table I characteristics and the
+// Figure 2 RI/WI/MIX page classification for a block trace file (MSR
+// Cambridge CSV or SPC-1 format, auto-selected by -format).
+//
+// Usage:
+//
+//	traceinfo -format msr fin1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gcsteering/internal/trace"
+)
+
+func main() {
+	var (
+		format    = flag.String("format", "msr", "input format: msr | spc")
+		pageSize  = flag.Int("page-size", 4096, "page size for the Fig. 2 classification")
+		threshold = flag.Float64("threshold", 0.9, "RI/WI classification threshold (paper: 0.9)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-format msr|spc] <trace-file>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+
+	var tr trace.Trace
+	switch *format {
+	case "msr":
+		tr, err = trace.ParseMSR(f)
+	case "spc":
+		tr, err = trace.ParseSPC(f)
+	default:
+		fatalf("unknown format %q (msr|spc)", *format)
+	}
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+
+	s := trace.ComputeStats(tr)
+	fmt.Printf("Trace characteristics (Table I columns)\n")
+	fmt.Printf("  requests:      %d\n", s.Requests)
+	fmt.Printf("  read ratio:    %.1f%%\n", 100*s.ReadRatio)
+	fmt.Printf("  avg req size:  %.1f KB\n", s.AvgSizeKB)
+	fmt.Printf("  span:          %v\n", s.Duration)
+	fmt.Printf("  footprint:     %.2f GiB (max offset)\n", float64(s.MaxOffset)/float64(1<<30))
+
+	c := trace.ClassifyPages(tr, *pageSize, *threshold)
+	fmt.Printf("\nPage classification at %d B pages, threshold %.0f%% (Figure 2)\n", *pageSize, 100**threshold)
+	fmt.Printf("  pages:   RI=%d  WI=%d  MIX=%d\n",
+		c.Pages[trace.ClassRI], c.Pages[trace.ClassWI], c.Pages[trace.ClassMIX])
+	fmt.Printf("  reads:   RI=%.1f%%  MIX=%.1f%%  WI=%.1f%%\n",
+		100*c.ReadShare(trace.ClassRI), 100*c.ReadShare(trace.ClassMIX), 100*c.ReadShare(trace.ClassWI))
+	fmt.Printf("  writes:  WI=%.1f%%  MIX=%.1f%%  RI=%.1f%%\n",
+		100*c.WriteShare(trace.ClassWI), 100*c.WriteShare(trace.ClassMIX), 100*c.WriteShare(trace.ClassRI))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,225 @@
+// Package gcsteering is a discrete-event simulation library reproducing
+// "GC-aware Request Steering with Improved Performance and Reliability for
+// SSD-based RAIDs" (Wu et al., IPDPS 2018).
+//
+// It provides, end to end: a flash SSD simulator with page-mapped FTL and
+// greedy garbage collection, a RAID0/1/5/6 engine with real parity codecs,
+// the LGC and GGC baseline GC-coordination schemes, the GC-Steering scheme
+// itself (D_Table, R_LRU, dedicated or reserved staging space, request
+// redirection, reclaim), a failure-recovery engine with the paper's
+// parallel reconstruction workflow, synthetic workload generators matched
+// to the paper's Table I, and trace parsers for the MSR Cambridge and
+// SPC-1 formats.
+//
+// Quick start:
+//
+//	cfg := gcsteering.DefaultConfig()
+//	cfg.Scheme = gcsteering.SchemeSteering
+//	sys, err := gcsteering.New(cfg)
+//	tr, err := sys.GenerateWorkload("Fin1", 20000)
+//	res, err := sys.Replay(tr)
+//	fmt.Println(res.Latency)
+package gcsteering
+
+import (
+	"fmt"
+
+	"gcsteering/internal/flash"
+	"gcsteering/internal/raid"
+	"gcsteering/internal/ssd"
+)
+
+// Scheme selects the GC-handling scheme under test.
+type Scheme int
+
+const (
+	// SchemeLGC is the baseline: local, uncoordinated GC per SSD.
+	SchemeLGC Scheme = iota
+	// SchemeGGC is globally coordinated GC (Kim et al.'s Harmonia).
+	SchemeGGC
+	// SchemeSteering is the paper's GC-aware request steering.
+	SchemeSteering
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeLGC:
+		return "LGC"
+	case SchemeGGC:
+		return "GGC"
+	case SchemeSteering:
+		return "GC-Steering"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// StagingKind selects where GC-Steering stages redirected data (Fig. 10).
+type StagingKind int
+
+const (
+	// StagingReserved uses the pre-reserved space of each SSD in the array
+	// (the paper's default).
+	StagingReserved StagingKind = iota
+	// StagingDedicated uses a dedicated spare SSD.
+	StagingDedicated
+)
+
+// String names the staging configuration as in Fig. 10.
+func (k StagingKind) String() string {
+	if k == StagingDedicated {
+		return "Dedicated"
+	}
+	return "Reserved"
+}
+
+// Level re-exports the RAID levels.
+type Level = raid.Level
+
+// RAID levels supported by the array engine.
+const (
+	RAID0 = raid.RAID0
+	RAID1 = raid.RAID1
+	RAID5 = raid.RAID5
+	RAID6 = raid.RAID6
+)
+
+// FlashGeometry re-exports the SSD geometry knobs.
+type FlashGeometry = flash.Geometry
+
+// LatencyModel re-exports the flash timing knobs.
+type LatencyModel = ssd.LatencyModel
+
+// Config describes one simulated storage system.
+type Config struct {
+	// Disks is the number of member SSDs in the array.
+	Disks int
+	// Level is the RAID level (the paper evaluates RAID5; RAID1/6 are the
+	// future-work levels and also supported).
+	Level Level
+	// StripeUnitKB is the stripe unit ("chunk") size in KiB.
+	StripeUnitKB int
+	// Scheme selects LGC, GGC or GC-Steering.
+	Scheme Scheme
+	// Staging selects the staging configuration for SchemeSteering.
+	Staging StagingKind
+	// ReservedFrac is the fraction of each member SSD set aside as
+	// reserved space. It is carved out for every scheme so all schemes see
+	// an identical array geometry (the paper compares schemes on the same
+	// number of SSDs).
+	ReservedFrac float64
+	// StagingReadFrac splits the staging capacity between hot-read copies
+	// and redirected write data.
+	StagingReadFrac float64
+	// HotFrac caps the popular-read set per disk (paper: 10%).
+	HotFrac float64
+	// MigrateHotReads and ReclaimMerge toggle the corresponding
+	// GC-Steering mechanisms (both on in the paper; ablation knobs here).
+	MigrateHotReads bool
+	ReclaimMerge    bool
+	// MigrateThreshold is how many recent re-reads mark a page popular
+	// enough to migrate (0 defaults to 2).
+	MigrateThreshold int
+	// ScanThresholdPages makes popularity tracking scan-resistant: reads
+	// larger than this many pages per member disk are treated as scans and
+	// never migrated (0 defaults to 8 — below the stripe unit, so full-unit
+	// sub-ops of a large striped read are filtered).
+	ScanThresholdPages int
+	// ColdStreamStaging places the reserved staging region on a separate
+	// FTL write stream (multi-stream style hot/cold separation). Off by
+	// default; exposed for ablation studies.
+	ColdStreamStaging bool
+	// DisableGCAwareWrites turns off the controller's reconstruct-write
+	// path for partial-stripe writes whose RMW reads would land on a
+	// collecting disk (ablation knob; GC-Steering enables it).
+	DisableGCAwareWrites bool
+
+	// Flash is the per-SSD geometry; Latency the flash op timing.
+	Flash   FlashGeometry
+	Latency LatencyModel
+	// GCLowWater/GCHighWater are the free-block watermarks (in blocks)
+	// that trigger and terminate a GC episode. ForcedGCVictims is the
+	// minimum work a GGC-forced episode performs.
+	GCLowWater      int
+	GCHighWater     int
+	ForcedGCVictims int
+	// GCOverheadMs is the fixed per-invocation GC cost in milliseconds
+	// charged to all channels at episode start.
+	GCOverheadMs float64
+
+	// PrefillOverwrite controls warm-up: after filling the device, this
+	// fraction of its pages is overwritten so steady-state GC has victims.
+	PrefillOverwrite float64
+	// Seed makes the whole simulation deterministic.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's main setup: RAID5 over 5 SSDs with a
+// 64 KB stripe unit, GC-Steering with reserved staging.
+func DefaultConfig() Config {
+	g := flash.DefaultGeometry()
+	// The calibrated simulation geometry: 128 MB of raw flash per member
+	// (256 blocks × 128 pages × 4 KiB). Small devices keep full experiment
+	// grids fast; all shape results in EXPERIMENTS.md were validated at
+	// this size.
+	g.Blocks = 256
+	g.PagesPerBlock = 128
+	return Config{
+		Disks:           5,
+		Level:           RAID5,
+		StripeUnitKB:    64,
+		Scheme:          SchemeSteering,
+		Staging:         StagingReserved,
+		ReservedFrac:    0.20,
+		StagingReadFrac: 0.3,
+		HotFrac:         0.10,
+		MigrateHotReads: true,
+		ReclaimMerge:    true,
+		Flash:           g,
+		Latency:         ssd.DefaultLatency(),
+		// Long, infrequent GC episodes — the regime where uncoordinated GC
+		// produces the pronounced tail latencies the paper measures.
+		GCLowWater:  g.Channels,
+		GCHighWater: 3 * g.Channels,
+		// A GGC-forced episode collects a couple of blocks without refilling
+		// the free pool, so every member's own trigger still launches a
+		// global round (the mechanism behind GGC's inflated GC counts), and
+		// each GC invocation pays a fixed entry cost.
+		ForcedGCVictims:  2,
+		GCOverheadMs:     4,
+		PrefillOverwrite: 0.5,
+		Seed:             1,
+	}
+}
+
+// Validate reports configuration errors beyond what the subsystems check.
+func (c Config) Validate() error {
+	if c.Disks < 2 {
+		return fmt.Errorf("gcsteering: Disks %d too few", c.Disks)
+	}
+	if c.StripeUnitKB <= 0 || (c.StripeUnitKB*1024)%c.Flash.PageSize != 0 {
+		return fmt.Errorf("gcsteering: StripeUnitKB %d not a page multiple", c.StripeUnitKB)
+	}
+	if c.ReservedFrac < 0 || c.ReservedFrac > 0.5 {
+		return fmt.Errorf("gcsteering: ReservedFrac %v outside [0, 0.5]", c.ReservedFrac)
+	}
+	if c.Scheme == SchemeSteering && c.Staging == StagingReserved && c.ReservedFrac == 0 {
+		return fmt.Errorf("gcsteering: reserved staging needs ReservedFrac > 0")
+	}
+	if err := c.Flash.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// unitPages is the stripe unit in pages.
+func (c Config) unitPages() int { return c.StripeUnitKB * 1024 / c.Flash.PageSize }
+
+// diskPages is the per-member usable (array) page count after the reserved
+// carve-out, rounded down to whole stripe units.
+func (c Config) diskPages() int {
+	dev := c.Flash.LogicalPages()
+	data := int(float64(dev) * (1 - c.ReservedFrac))
+	return data - data%c.unitPages()
+}

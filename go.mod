@@ -1,0 +1,3 @@
+module gcsteering
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package core implements GC-Steering, the paper's contribution: a
+// controller-level scheme that steers popular read requests and all write
+// requests away from SSDs that are busy garbage-collecting (or from a
+// degraded array during reconstruction) into a staging space, and reclaims
+// the redirected write data afterwards.
+//
+// The five functional components of the paper's Figure 3 map to this
+// package as follows: the Popular Data Identifier is RLRU, the Staging
+// Space Manager is the Staging implementations, the Request Redirector is
+// Steering.route, the Reclaimer is reclaim.go, and the Administration
+// Interface is the Config struct plus the public facade package.
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// PageKey addresses one page on one member disk of the array.
+type PageKey struct {
+	Disk int32
+	Page int32
+}
+
+// StageLoc is the staging-space location of one redirected page. Mirrored
+// (RAID1-style) locations carry a second copy in Dev1/Page1; single-copy
+// locations set Dev1 = -1. Devices are indexed in the staging space's own
+// device list (the array members for reserved staging, the spare for
+// dedicated staging).
+type StageLoc struct {
+	Dev0, Page0 int32
+	Dev1, Page1 int32
+}
+
+// NoMirror is the Dev1 value of single-copy locations.
+const NoMirror int32 = -1
+
+// Mirrored reports whether the location holds two copies.
+func (l StageLoc) Mirrored() bool { return l.Dev1 != NoMirror }
+
+// Entry is one D_Table record: where a redirected page lives and whether
+// it is redirected write data (Flag=true in the paper, meaning it must be
+// reclaimed) or a migrated hot-read copy (Flag=false, droppable).
+type Entry struct {
+	Loc StageLoc
+	// Write is the paper's Flag: true for redirected write data.
+	Write bool
+	// Gen increments on every update so the reclaimer can detect that an
+	// entry changed while its write-back was in flight.
+	Gen uint32
+}
+
+// DTable is the redirect log of GC-Steering (the paper's D_Table): a map
+// from home location to staging location. The paper stores it in
+// battery-backed NVRAM; Snapshot/Restore model the persistence path.
+type DTable struct {
+	m map[PageKey]Entry
+
+	writeEntries int // entries with Write=true
+}
+
+// NewDTable returns an empty table.
+func NewDTable() *DTable {
+	return &DTable{m: make(map[PageKey]Entry)}
+}
+
+// Get returns the entry for k.
+func (t *DTable) Get(k PageKey) (Entry, bool) {
+	e, ok := t.m[k]
+	return e, ok
+}
+
+// Put inserts or replaces the entry for k, bumping the generation.
+func (t *DTable) Put(k PageKey, loc StageLoc, write bool) Entry {
+	old, existed := t.m[k]
+	e := Entry{Loc: loc, Write: write, Gen: old.Gen + 1}
+	t.m[k] = e
+	if existed && old.Write {
+		t.writeEntries--
+	}
+	if write {
+		t.writeEntries++
+	}
+	return e
+}
+
+// Delete removes the entry for k. Deleting an absent key is a no-op.
+func (t *DTable) Delete(k PageKey) {
+	if old, ok := t.m[k]; ok {
+		if old.Write {
+			t.writeEntries--
+		}
+		delete(t.m, k)
+	}
+}
+
+// Len returns the number of live entries.
+func (t *DTable) Len() int { return len(t.m) }
+
+// ForEach visits every entry (iteration order is unspecified).
+func (t *DTable) ForEach(fn func(PageKey, Entry)) {
+	for k, e := range t.m {
+		fn(k, e)
+	}
+}
+
+// WriteLen returns the number of redirected-write entries awaiting reclaim.
+func (t *DTable) WriteLen() int { return t.writeEntries }
+
+// Run is a contiguous range of same-disk pages with live write entries,
+// produced for the reclaimer. Merging contiguous pages lets the reclaim
+// write-back hit the home disk with large sequential writes, the paper's
+// "sequential data blocks ... merged into a large data block" optimization.
+type Run struct {
+	Disk  int32
+	Page  int32 // first home page
+	Pages int32
+}
+
+// WriteRunsFor returns the write entries homed on disk, merged into
+// contiguous runs sorted by page. With merge=false every page is its own
+// run (the ablation configuration).
+func (t *DTable) WriteRunsFor(disk int32, merge bool) []Run {
+	var pages []int32
+	for k, e := range t.m {
+		if k.Disk == disk && e.Write {
+			pages = append(pages, k.Page)
+		}
+	}
+	if len(pages) == 0 {
+		return nil
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	var runs []Run
+	for _, p := range pages {
+		if merge {
+			if n := len(runs); n > 0 && runs[n-1].Page+runs[n-1].Pages == p {
+				runs[n-1].Pages++
+				continue
+			}
+		}
+		runs = append(runs, Run{Disk: disk, Page: p, Pages: 1})
+	}
+	return runs
+}
+
+// snapshotRecord is the gob wire form of one entry.
+type snapshotRecord struct {
+	Key   PageKey
+	Entry Entry
+}
+
+// Snapshot serializes the table, modelling the paper's NVRAM persistence
+// of D_Table across power failure.
+func (t *DTable) Snapshot() ([]byte, error) {
+	recs := make([]snapshotRecord, 0, len(t.m))
+	for k, e := range t.m {
+		recs = append(recs, snapshotRecord{k, e})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Key.Disk != recs[j].Key.Disk {
+			return recs[i].Key.Disk < recs[j].Key.Disk
+		}
+		return recs[i].Key.Page < recs[j].Key.Page
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore replaces the table contents from a snapshot.
+func (t *DTable) Restore(data []byte) error {
+	var recs []snapshotRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	t.m = make(map[PageKey]Entry, len(recs))
+	t.writeEntries = 0
+	for _, r := range recs {
+		t.m[r.Key] = r.Entry
+		if r.Entry.Write {
+			t.writeEntries++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import "testing"
+
+func k(d, p int32) PageKey { return PageKey{Disk: d, Page: p} }
+
+func TestDTableBasics(t *testing.T) {
+	dt := NewDTable()
+	if dt.Len() != 0 || dt.WriteLen() != 0 {
+		t.Fatal("fresh table not empty")
+	}
+	if _, ok := dt.Get(k(0, 0)); ok {
+		t.Fatal("phantom entry")
+	}
+	loc := StageLoc{Dev0: 1, Page0: 100, Dev1: NoMirror}
+	e := dt.Put(k(0, 5), loc, true)
+	if e.Gen != 1 {
+		t.Fatalf("first Gen = %d", e.Gen)
+	}
+	got, ok := dt.Get(k(0, 5))
+	if !ok || got.Loc != loc || !got.Write {
+		t.Fatalf("Get = %+v ok=%v", got, ok)
+	}
+	if dt.Len() != 1 || dt.WriteLen() != 1 {
+		t.Fatalf("Len=%d WriteLen=%d", dt.Len(), dt.WriteLen())
+	}
+}
+
+func TestDTableGenBumpsOnReplace(t *testing.T) {
+	dt := NewDTable()
+	dt.Put(k(0, 5), StageLoc{Dev0: 1, Page0: 1, Dev1: NoMirror}, false)
+	e := dt.Put(k(0, 5), StageLoc{Dev0: 2, Page0: 2, Dev1: NoMirror}, true)
+	if e.Gen != 2 {
+		t.Fatalf("Gen = %d after replace", e.Gen)
+	}
+	if dt.Len() != 1 || dt.WriteLen() != 1 {
+		t.Fatalf("Len=%d WriteLen=%d", dt.Len(), dt.WriteLen())
+	}
+	// Flag transitions must keep WriteLen consistent.
+	dt.Put(k(0, 5), StageLoc{Dev0: 3, Page0: 3, Dev1: NoMirror}, false)
+	if dt.WriteLen() != 0 {
+		t.Fatalf("WriteLen = %d after write->read transition", dt.WriteLen())
+	}
+}
+
+func TestDTableDelete(t *testing.T) {
+	dt := NewDTable()
+	dt.Put(k(1, 2), StageLoc{Dev1: NoMirror}, true)
+	dt.Delete(k(1, 2))
+	if dt.Len() != 0 || dt.WriteLen() != 0 {
+		t.Fatal("delete did not clear")
+	}
+	dt.Delete(k(1, 2)) // absent delete is a no-op
+}
+
+func TestWriteRunsMerging(t *testing.T) {
+	dt := NewDTable()
+	loc := StageLoc{Dev1: NoMirror}
+	// Disk 0: pages 10,11,12 and 20. Disk 1: page 5. A read entry at 13
+	// must not extend the run.
+	for _, p := range []int32{12, 10, 11, 20} {
+		dt.Put(k(0, p), loc, true)
+	}
+	dt.Put(k(0, 13), loc, false)
+	dt.Put(k(1, 5), loc, true)
+
+	runs := dt.WriteRunsFor(0, true)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if runs[0].Page != 10 || runs[0].Pages != 3 {
+		t.Fatalf("first run %+v", runs[0])
+	}
+	if runs[1].Page != 20 || runs[1].Pages != 1 {
+		t.Fatalf("second run %+v", runs[1])
+	}
+
+	unmerged := dt.WriteRunsFor(0, false)
+	if len(unmerged) != 4 {
+		t.Fatalf("unmerged runs = %+v", unmerged)
+	}
+	if got := dt.WriteRunsFor(2, true); got != nil {
+		t.Fatalf("runs for untouched disk: %+v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	dt := NewDTable()
+	dt.Put(k(0, 1), StageLoc{Dev0: 1, Page0: 11, Dev1: 2, Page1: 22}, true)
+	dt.Put(k(3, 4), StageLoc{Dev0: 0, Page0: 7, Dev1: NoMirror}, false)
+	blob, err := dt.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewDTable()
+	if err := restored.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 || restored.WriteLen() != 1 {
+		t.Fatalf("restored Len=%d WriteLen=%d", restored.Len(), restored.WriteLen())
+	}
+	e, ok := restored.Get(k(0, 1))
+	if !ok || !e.Loc.Mirrored() || e.Loc.Page1 != 22 || !e.Write {
+		t.Fatalf("restored entry %+v ok=%v", e, ok)
+	}
+	if err := restored.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+}
+
+func TestForEachVisitsAll(t *testing.T) {
+	dt := NewDTable()
+	dt.Put(k(0, 1), StageLoc{Dev1: NoMirror}, true)
+	dt.Put(k(0, 2), StageLoc{Dev1: NoMirror}, false)
+	n := 0
+	dt.ForEach(func(PageKey, Entry) { n++ })
+	if n != 2 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestStageLocMirrored(t *testing.T) {
+	if (StageLoc{Dev1: NoMirror}).Mirrored() {
+		t.Fatal("single-copy loc reported mirrored")
+	}
+	if !(StageLoc{Dev1: 3}).Mirrored() {
+		t.Fatal("mirrored loc not reported")
+	}
+}
+
+func TestRLRU(t *testing.T) {
+	r := NewRLRU(3)
+	if r.Cap() != 3 {
+		t.Fatal("cap")
+	}
+	if r.Touch(1) != 0 {
+		t.Fatal("first touch reported prior hits")
+	}
+	if r.Touch(1) != 1 {
+		t.Fatal("second touch should report one prior hit")
+	}
+	if r.Touch(1) != 2 {
+		t.Fatal("third touch should report two prior hits")
+	}
+	r.Touch(2)
+	r.Touch(3)
+	r.Touch(4) // evicts 1 (2 is next-oldest after 1's promotion... order: 1 promoted, then 2,3,4 -> evict 1)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Contains(1) {
+		t.Fatal("oldest entry not evicted")
+	}
+	if !r.Contains(4) || !r.Contains(3) || !r.Contains(2) {
+		t.Fatal("recent entries missing")
+	}
+	r.Remove(3)
+	if r.Contains(3) || r.Len() != 2 {
+		t.Fatal("Remove failed")
+	}
+	r.Remove(3) // absent remove is a no-op
+}
+
+func TestRLRUEvictionOrder(t *testing.T) {
+	r := NewRLRU(2)
+	r.Touch(1)
+	r.Touch(2)
+	r.Touch(1) // promote 1; 2 becomes LRU
+	r.Touch(3) // evicts 2
+	if r.Contains(2) || !r.Contains(1) || !r.Contains(3) {
+		t.Fatal("LRU order broken")
+	}
+}
+
+func TestRLRUMinCapacity(t *testing.T) {
+	r := NewRLRU(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamped to 1", r.Cap())
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"gcsteering/internal/sim"
+)
+
+// The Reclaimer drains redirected write data back to its home location
+// once the home disk finishes garbage collection (§III-C). The drain is
+// deliberately serial — one merged run at a time — so reclaim traffic
+// trickles into the home disk instead of re-creating the contention the
+// steering just avoided. Parity was already updated in place when the
+// write was redirected, so write-back touches only the home data unit.
+
+// OnDeviceGCEnd is the hook the facade wires to the sched.Hub's GC-end
+// events: when disk finishes collecting, its redirected data drains back.
+func (s *Steering) OnDeviceGCEnd(now sim.Time, disk int) {
+	if s.rebuilding && !s.stagingPressure() {
+		return // reclaim resumes after reconstruction completes (§III-D)
+	}
+	s.drain(now, disk)
+}
+
+// DrainAll starts a drain on every member disk (used when reconstruction
+// completes and at the end of an experiment to flush the staging space).
+func (s *Steering) DrainAll(now sim.Time) {
+	for d := range s.devs {
+		s.drain(now, d)
+	}
+}
+
+// Draining reports whether any disk still has an active drain or pending
+// reclaimable write entries (entries homed on a failed member are not
+// reclaimable until it is rebuilt and do not count).
+func (s *Steering) Draining() bool {
+	for _, d := range s.draining {
+		if d {
+			return true
+		}
+	}
+	if s.failedHome < 0 {
+		return s.dt.WriteLen() > 0
+	}
+	pending := false
+	s.dt.ForEach(func(k PageKey, e Entry) {
+		if e.Write && int(k.Disk) != s.failedHome {
+			pending = true
+		}
+	})
+	return pending
+}
+
+func (s *Steering) drain(now sim.Time, disk int) {
+	if s.draining[disk] {
+		return
+	}
+	s.draining[disk] = true
+	s.eng.Defer(func(t sim.Time) { s.drainNext(t, disk) })
+}
+
+// drainNext reclaims the next merged run for disk, then re-arms itself.
+// It stops (and re-arms on the next GC-end event) when the disk re-enters
+// collection or when no write entries remain.
+func (s *Steering) drainNext(now sim.Time, disk int) {
+	if disk == s.failedHome {
+		// The home member is gone; its entries stay staged until rebuilt.
+		s.draining[disk] = false
+		return
+	}
+	if s.devs[disk].InGC(now) || (s.rebuilding && !s.stagingPressure()) {
+		s.draining[disk] = false
+		return
+	}
+	runs := s.dt.WriteRunsFor(int32(disk), s.cfg.ReclaimMerge)
+	if len(runs) == 0 {
+		s.draining[disk] = false
+		return
+	}
+	run := runs[0]
+	s.stats.ReclaimRuns++
+
+	// Snapshot the entries so concurrent redirects are detected.
+	type snap struct {
+		key PageKey
+		gen uint32
+		loc StageLoc
+	}
+	snaps := make([]snap, 0, run.Pages)
+	for i := int32(0); i < run.Pages; i++ {
+		key := PageKey{Disk: run.Disk, Page: run.Page + i}
+		e, ok := s.dt.Get(key)
+		if !ok || !e.Write {
+			continue // raced with a delete; skip
+		}
+		snaps = append(snaps, snap{key, e.Gen, e.Loc})
+	}
+	if len(snaps) == 0 {
+		s.eng.Defer(func(t sim.Time) { s.drainNext(t, disk) })
+		return
+	}
+
+	finalize := func(t sim.Time) {
+		for _, sn := range snaps {
+			cur, ok := s.dt.Get(sn.key)
+			if !ok || cur.Gen != sn.gen {
+				// A newer redirect superseded this write-back; the entry
+				// (and its newer staging copy) stays live.
+				s.stats.ReclaimSkippedStale++
+				continue
+			}
+			s.staging.Free(sn.loc)
+			s.dt.Delete(sn.key)
+			s.stats.ReclaimedPages++
+		}
+		s.drainNext(t, disk)
+	}
+
+	// Read every staged page, then write the whole run home in one I/O.
+	remain := len(snaps)
+	onRead := func(t sim.Time) {
+		remain--
+		if remain == 0 {
+			s.devs[disk].Write(t, int(run.Page), int(run.Pages), finalize)
+		}
+	}
+	for _, sn := range snaps {
+		s.staging.Read(now, sn.loc, onRead)
+	}
+}

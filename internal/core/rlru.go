@@ -1,0 +1,68 @@
+package core
+
+import "container/list"
+
+// RLRU is the paper's R_LRU: a bounded LRU list per member SSD that tracks
+// the most recently read pages. A page that is read again while still on
+// the list is "popular" — the Popular Data Identifier's signal to migrate
+// it to the staging space. The capacity bounds how much data can ever be
+// considered hot; the paper caps migration at 10% of the data blocks.
+type RLRU struct {
+	cap int
+	ll  *list.List // front = most recent
+	pos map[int32]*list.Element
+}
+
+// rlruEntry is one tracked page with its recent-hit count.
+type rlruEntry struct {
+	page int32
+	hits int
+}
+
+// NewRLRU creates a list bounded to capacity pages (min 1).
+func NewRLRU(capacity int) *RLRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RLRU{cap: capacity, ll: list.New(), pos: make(map[int32]*list.Element)}
+}
+
+// Touch records a read of page and returns how many times it had been
+// read recently before this access (0 = first sighting). The caller
+// decides the popularity threshold for migration.
+func (r *RLRU) Touch(page int32) int {
+	if el, ok := r.pos[page]; ok {
+		r.ll.MoveToFront(el)
+		e := el.Value.(*rlruEntry)
+		e.hits++
+		return e.hits
+	}
+	r.pos[page] = r.ll.PushFront(&rlruEntry{page: page})
+	if r.ll.Len() > r.cap {
+		oldest := r.ll.Back()
+		r.ll.Remove(oldest)
+		delete(r.pos, oldest.Value.(*rlruEntry).page)
+	}
+	return 0
+}
+
+// Contains reports whether page is currently tracked, without promoting it.
+func (r *RLRU) Contains(page int32) bool {
+	_, ok := r.pos[page]
+	return ok
+}
+
+// Remove drops page from the list (used when a write invalidates the
+// hotness of a read page).
+func (r *RLRU) Remove(page int32) {
+	if el, ok := r.pos[page]; ok {
+		r.ll.Remove(el)
+		delete(r.pos, page)
+	}
+}
+
+// Len returns the number of tracked pages.
+func (r *RLRU) Len() int { return r.ll.Len() }
+
+// Cap returns the capacity.
+func (r *RLRU) Cap() int { return r.cap }

@@ -1,0 +1,501 @@
+package core
+
+import (
+	"fmt"
+
+	"gcsteering/internal/raid"
+	"gcsteering/internal/sim"
+)
+
+// Config tunes GC-Steering. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// HotFrac bounds the popular-read working set per member disk as a
+	// fraction of its data pages (the paper migrates "only up to 10% of
+	// popular data blocks").
+	HotFrac float64
+	// MigrateHotReads enables proactive migration of popular read data to
+	// the staging space (disable for the writes-only ablation).
+	MigrateHotReads bool
+	// ReclaimMerge merges contiguous redirected pages into one write-back
+	// (the paper's merge-before-reclaim optimization; disable to ablate).
+	ReclaimMerge bool
+	// MigrateThreshold is how many recent re-reads a page needs before it
+	// is considered popular enough to migrate (0 defaults to 2).
+	MigrateThreshold int
+	// ScanThresholdPages makes the popularity tracker scan-resistant: read
+	// sub-ops larger than this bypass R_LRU entirely (a large sequential
+	// scan is not "hot data" and would otherwise flush the LRU and trigger
+	// bulk migrations; note sub-ops are capped at the stripe unit, so this
+	// must sit below the unit size to catch full-unit scan sub-ops).
+	// 0 defaults to 8 pages (32 KiB).
+	ScanThresholdPages int
+}
+
+// DefaultConfig returns the paper's configuration.
+func DefaultConfig() Config {
+	return Config{
+		HotFrac:            0.10,
+		MigrateHotReads:    true,
+		ReclaimMerge:       true,
+		MigrateThreshold:   2,
+		ScanThresholdPages: 8,
+	}
+}
+
+// Stats counts the redirector's activity, all in pages.
+type Stats struct {
+	RedirectedReads  int64 // read pages served by the staging space
+	RedirectedWrites int64 // write pages absorbed by the staging space
+	DirectReads      int64 // read pages sent to their home disk
+	DirectWrites     int64 // write pages sent to their home disk
+
+	// GCPages counts pages addressed to a disk that was collecting at the
+	// time; GCPagesRedirected counts how many of those dodged the disk.
+	// Their ratio is the paper's "85.5% of user I/O requests during the GC
+	// period are redirected" metric.
+	GCPages           int64
+	GCPagesRedirected int64
+
+	Migrations          int64 // hot-read pages copied to staging
+	MigrationsSkipped   int64 // hot pages not migrated (budget exhausted)
+	WriteAllocFallbacks int64 // steered writes that fell back to the home disk
+
+	ReclaimRuns         int64 // write-back batches issued
+	ReclaimedPages      int64 // pages drained back to their home disks
+	ReclaimSkippedStale int64 // write-backs superseded by a newer redirect
+}
+
+// Steering is the GC-Steering controller. It installs itself as the
+// array's sub-op router: data reads and writes addressed to a member disk
+// that is garbage-collecting (or to a degraded array during
+// reconstruction) are redirected to the staging space; parity traffic is
+// never redirected, so the array's redundancy stays in place (§III-C).
+type Steering struct {
+	eng     *sim.Engine
+	arr     *raid.Array
+	devs    []raid.Disk
+	staging Staging
+	dt      *DTable
+	hot     []*RLRU
+	cfg     Config
+
+	rebuilding bool
+	failedHome int    // member whose home locations are gone (-1 = none)
+	draining   []bool // per-disk: reclaim drain in progress
+	writeCap   int    // staging write slots at construction
+	stats      Stats
+}
+
+// New wires a Steering controller onto the array. It replaces the array's
+// Route hook.
+func New(eng *sim.Engine, arr *raid.Array, staging Staging, cfg Config) (*Steering, error) {
+	if cfg.HotFrac < 0 || cfg.HotFrac > 1 {
+		return nil, fmt.Errorf("core: HotFrac %v outside [0,1]", cfg.HotFrac)
+	}
+	devs := arr.Disks()
+	s := &Steering{
+		eng:        eng,
+		arr:        arr,
+		devs:       devs,
+		staging:    staging,
+		dt:         NewDTable(),
+		cfg:        cfg,
+		failedHome: -1,
+		draining:   make([]bool, len(devs)),
+	}
+	hotCap := int(cfg.HotFrac * float64(arr.Layout().DiskPages))
+	if hotCap < 1 {
+		hotCap = 1
+	}
+	for range devs {
+		s.hot = append(s.hot, NewRLRU(hotCap))
+	}
+	arr.Route = s.route
+	arr.GCAwareWrites = true
+	s.writeCap = staging.FreeWriteSlots()
+	return s, nil
+}
+
+// stagingPressure reports that the staging write pool is nearly exhausted.
+// The paper defers reclaim until reconstruction completes, but a rebuild
+// that spans the whole workload would otherwise overflow the staging space
+// outright, so under pressure the reclaimer drains even while rebuilding
+// (documented as a deviation in EXPERIMENTS.md).
+func (s *Steering) stagingPressure() bool {
+	return s.staging.FreeWriteSlots()*10 < s.writeCap
+}
+
+// DTable exposes the redirect log (tests, persistence, and the facade).
+func (s *Steering) DTable() *DTable { return s.dt }
+
+// Stats returns a snapshot of the counters.
+func (s *Steering) Stats() Stats { return s.stats }
+
+// Staging returns the staging space.
+func (s *Steering) Staging() Staging { return s.staging }
+
+// Rebuilding reports whether reconstruction mode is active.
+func (s *Steering) Rebuilding() bool { return s.rebuilding }
+
+// SetRebuilding switches reconstruction mode: while active, *all* data
+// writes and D_Table-hit reads are steered to the staging space so the
+// degraded array can dedicate itself to recovery (§III-D), and reclaim is
+// suspended. Leaving reconstruction mode kicks a full drain.
+func (s *Steering) SetRebuilding(now sim.Time, on bool) {
+	s.rebuilding = on
+	if !on {
+		s.DrainAll(now)
+	}
+}
+
+// SetFailedHome records that member disk's home locations are unreachable:
+// the reclaimer will not try to write entries back to it (their staged
+// copies keep shadowing the lost home until the member is rebuilt). Pass
+// -1 to clear.
+func (s *Steering) SetFailedHome(disk int) { s.failedHome = disk }
+
+// DropStagedOn handles the loss of member dev as a staging target (§III-D:
+// upon an SSD failure, its staged contents must be accounted for before
+// reconstruction). Hot-read copies located on the failed member are simply
+// dropped — the home copy is authoritative. Redirected-write entries keep
+// their surviving mirror (the failed copy is forgotten); single-copy write
+// entries on the failed member are dropped too, because the in-place parity
+// update at redirect time makes the data reconstructible from the array.
+func (s *Steering) DropStagedOn(dev int32) {
+	type fix struct {
+		key PageKey
+		e   Entry
+	}
+	var drops []PageKey
+	var remaps []fix
+	s.dt.ForEach(func(k PageKey, e Entry) {
+		onDev0 := e.Loc.Dev0 == dev
+		onDev1 := e.Loc.Mirrored() && e.Loc.Dev1 == dev
+		if !onDev0 && !onDev1 {
+			return
+		}
+		if !e.Write || (!e.Loc.Mirrored() && onDev0) {
+			drops = append(drops, k)
+			return
+		}
+		// Mirrored write: keep the surviving copy as the only copy.
+		loc := e.Loc
+		if onDev0 {
+			loc.Dev0, loc.Page0 = loc.Dev1, loc.Page1
+		}
+		loc.Dev1 = NoMirror
+		remaps = append(remaps, fix{k, Entry{Loc: loc, Write: true}})
+	})
+	for _, k := range drops {
+		if e, ok := s.dt.Get(k); ok {
+			s.freeSurviving(e.Loc, dev)
+			s.dt.Delete(k)
+		}
+	}
+	for _, f := range remaps {
+		s.dt.Put(f.key, f.e.Loc, true)
+	}
+}
+
+// freeSurviving returns to the pool only the copies of loc that are not on
+// the failed device (the failed device's slots are gone with it).
+func (s *Steering) freeSurviving(loc StageLoc, failed int32) {
+	if loc.Dev0 != failed && loc.Dev0 != NoMirror {
+		s.staging.Free(StageLoc{Dev0: loc.Dev0, Page0: loc.Page0, Dev1: NoMirror})
+	}
+	if loc.Mirrored() && loc.Dev1 != failed {
+		s.staging.Free(StageLoc{Dev0: loc.Dev1, Page0: loc.Page1, Dev1: NoMirror})
+	}
+}
+
+// SnapshotDTable serializes the redirect log, modelling the paper's
+// battery-backed NVRAM persistence (§III-E): a power failure must not lose
+// the mapping from home locations to staged data.
+func (s *Steering) SnapshotDTable() ([]byte, error) { return s.dt.Snapshot() }
+
+// RestoreDTable reloads a redirect log after a crash. Every restored
+// entry's staging slots are re-reserved so the allocator cannot hand them
+// out again; the restore fails (leaving an empty table) if any slot is
+// inconsistent with the staging space.
+func (s *Steering) RestoreDTable(data []byte) error {
+	dt := NewDTable()
+	if err := dt.Restore(data); err != nil {
+		return err
+	}
+	var reserveErr error
+	dt.ForEach(func(k PageKey, e Entry) {
+		if reserveErr != nil {
+			return
+		}
+		if err := s.staging.Reserve(e.Loc); err != nil {
+			reserveErr = fmt.Errorf("entry (%d,%d): %w", k.Disk, k.Page, err)
+		}
+	})
+	if reserveErr != nil {
+		return reserveErr
+	}
+	s.dt = dt
+	return nil
+}
+
+// RedirectRatio returns the fraction of GC-period pages that dodged a
+// collecting disk (the paper's 85.5% metric). Zero when no GC was observed.
+func (s *Steering) RedirectRatio() float64 {
+	if s.stats.GCPages == 0 {
+		return 0
+	}
+	return float64(s.stats.GCPagesRedirected) / float64(s.stats.GCPages)
+}
+
+// route is installed as raid.Array.Route.
+func (s *Steering) route(now sim.Time, op raid.SubOp, done func(sim.Time)) bool {
+	switch op.Kind {
+	case raid.OpParityRead, raid.OpParityWrite:
+		// Parity stays in its correct position so redirected data remains
+		// recoverable (§III-C); never redirect it.
+		return false
+	case raid.OpDataWrite:
+		return s.routeWrite(now, op, done)
+	default: // OpDataRead, OpOldDataRead
+		return s.routeRead(now, op, done)
+	}
+}
+
+// barrier fires done after n completions (nil-safe).
+func barrier(n int, done func(sim.Time)) func(sim.Time) {
+	if done == nil {
+		return nil
+	}
+	remain := n
+	return func(t sim.Time) {
+		remain--
+		if remain == 0 {
+			done(t)
+		}
+	}
+}
+
+// routeRead serves a read sub-op. Staged pages are always read from the
+// staging space — D_Table is checked first so fetched data is always
+// up to date (§III-C) — and the remainder goes to the home disk, which may
+// be collecting (only popular data has a staged copy to dodge to).
+func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) bool {
+	disk := op.Disk
+	inGC := s.devs[disk].InGC(now)
+
+	staged := make([]StageLoc, 0, op.Pages)
+	anyStaged := false
+	for i := 0; i < op.Pages; i++ {
+		if e, ok := s.dt.Get(PageKey{Disk: int32(disk), Page: int32(op.Page + i)}); ok {
+			staged = append(staged, e.Loc)
+			anyStaged = true
+		} else {
+			staged = append(staged, StageLoc{Dev0: NoMirror})
+		}
+	}
+	if inGC {
+		s.stats.GCPages += int64(op.Pages)
+	}
+	if !anyStaged && !inGC {
+		// Fast path: nothing staged, disk healthy. Track popularity and
+		// maybe migrate, but let the array issue the op itself.
+		s.observeRead(now, op)
+		return false
+	}
+
+	// Count completions: one per staged page + one per direct run.
+	type run struct{ page, pages int }
+	var direct []run
+	nOps := 0
+	for i := 0; i < op.Pages; i++ {
+		if staged[i].Dev0 != NoMirror {
+			nOps++
+			continue
+		}
+		if n := len(direct); n > 0 && direct[n-1].page+direct[n-1].pages == op.Page+i {
+			direct[n-1].pages++
+		} else {
+			direct = append(direct, run{op.Page + i, 1})
+		}
+	}
+	nOps += len(direct)
+	cb := barrier(nOps, done)
+	for i := 0; i < op.Pages; i++ {
+		if staged[i].Dev0 == NoMirror {
+			continue
+		}
+		s.stats.RedirectedReads++
+		if inGC {
+			s.stats.GCPagesRedirected++
+		}
+		s.staging.Read(now, staged[i], cb)
+	}
+	for _, r := range direct {
+		s.stats.DirectReads += int64(r.pages)
+		s.devs[disk].Read(now, r.page, r.pages, cb)
+	}
+	return true
+}
+
+// observeRead updates the popularity tracker and proactively migrates
+// popular pages to the staging space. Migration piggybacks on the read the
+// user already performed (the data is in controller memory), so only the
+// staging write is charged, off the request's critical path.
+func (s *Steering) observeRead(now sim.Time, op raid.SubOp) {
+	s.stats.DirectReads += int64(op.Pages)
+	if op.Kind != raid.OpDataRead {
+		return // RMW old-data reads are not popularity signals
+	}
+	scan := s.cfg.ScanThresholdPages
+	if scan <= 0 {
+		scan = 8
+	}
+	if op.Pages > scan {
+		return // scan resistance: large sequential reads are not hot data
+	}
+	lru := s.hot[op.Disk]
+	threshold := s.cfg.MigrateThreshold
+	if threshold <= 0 {
+		threshold = 2
+	}
+	for i := 0; i < op.Pages; i++ {
+		page := int32(op.Page + i)
+		hits := lru.Touch(page)
+		if hits < threshold || !s.cfg.MigrateHotReads {
+			continue
+		}
+		key := PageKey{Disk: int32(op.Disk), Page: page}
+		if _, already := s.dt.Get(key); already {
+			continue
+		}
+		loc, ok := s.staging.AllocRead(now, op.Disk, true)
+		if !ok {
+			s.stats.MigrationsSkipped++
+			continue
+		}
+		s.dt.Put(key, loc, false)
+		s.stats.Migrations++
+		s.staging.Write(now, loc, nil)
+	}
+}
+
+// routeWrite serves a write sub-op. While the home disk is collecting (or
+// the array is rebuilding) every page is redirected; otherwise only pages
+// that already have a live D_Table entry are redirected (the staging copy
+// must stay the newest version). The array updates parity in place either
+// way — route never sees parity ops here.
+func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) bool {
+	disk := op.Disk
+	inGC := s.devs[disk].InGC(now)
+	steerAll := inGC || s.rebuilding
+	if inGC {
+		s.stats.GCPages += int64(op.Pages)
+	}
+
+	if !steerAll {
+		// Healthy disk: hot-read copies of written pages are dropped (the
+		// new data makes them stale), and only pages with pending
+		// redirected-write data must keep going to the staging space so the
+		// staged copy stays the newest version.
+		any := false
+		for i := 0; i < op.Pages; i++ {
+			key := PageKey{Disk: int32(disk), Page: int32(op.Page + i)}
+			if e, ok := s.dt.Get(key); ok {
+				if e.Write {
+					any = true
+				} else {
+					s.staging.Free(e.Loc)
+					s.dt.Delete(key)
+				}
+			}
+		}
+		if !any {
+			s.stats.DirectWrites += int64(op.Pages)
+			s.invalidateHot(disk, op)
+			return false
+		}
+	}
+
+	type run struct{ page, pages int }
+	var locs []StageLoc
+	var direct []run
+	for i := 0; i < op.Pages; i++ {
+		key := PageKey{Disk: int32(disk), Page: int32(op.Page + i)}
+		e, exists := s.dt.Get(key)
+		if exists && !e.Write && !steerAll {
+			// Stale hot-read copy under a healthy write: invalidate and
+			// write through.
+			s.staging.Free(e.Loc)
+			s.dt.Delete(key)
+			exists = false
+		}
+		if steerAll || exists {
+			// Outside reconstruction the redirect must land on idle
+			// devices; steering onto a collecting device helps nothing, so
+			// the write falls through to its home disk instead. During
+			// reconstruction, keep allocation headroom: once the pool runs
+			// low the remaining writes go to the degraded array directly
+			// rather than grinding the staging devices at full occupancy.
+			headroom := !s.rebuilding || s.staging.FreeWriteSlots()*4 >= s.writeCap
+			var loc StageLoc
+			ok := false
+			if headroom || exists {
+				loc, ok = s.staging.AllocWrite(now, disk, !s.rebuilding)
+			}
+			if ok {
+				if exists {
+					s.staging.Free(e.Loc)
+				}
+				s.dt.Put(key, loc, true)
+				locs = append(locs, loc)
+				s.stats.RedirectedWrites++
+				if inGC {
+					s.stats.GCPagesRedirected++
+				}
+				continue
+			}
+			// Staging exhausted: fall back to the home disk and drop any
+			// stale staged copy so it cannot shadow the new data. Under
+			// rebuild-time pressure, also kick the reclaimer so capacity
+			// comes back.
+			s.stats.WriteAllocFallbacks++
+			if s.rebuilding && s.stagingPressure() {
+				s.DrainAll(now)
+			}
+			if exists {
+				s.staging.Free(e.Loc)
+				s.dt.Delete(key)
+			}
+		}
+		if n := len(direct); n > 0 && direct[n-1].page+direct[n-1].pages == op.Page+i {
+			direct[n-1].pages++
+		} else {
+			direct = append(direct, run{op.Page + i, 1})
+		}
+	}
+	s.invalidateHot(disk, op)
+	if len(locs) == 0 && len(direct) == 1 && direct[0].pages == op.Pages {
+		// Everything fell back: let the array issue it.
+		s.stats.DirectWrites += int64(op.Pages)
+		return false
+	}
+	cb := barrier(len(locs)+len(direct), done)
+	for _, loc := range locs {
+		s.staging.Write(now, loc, cb)
+	}
+	for _, r := range direct {
+		s.stats.DirectWrites += int64(r.pages)
+		s.devs[disk].Write(now, r.page, r.pages, cb)
+	}
+	return true
+}
+
+// invalidateHot drops written pages from the popularity tracker: freshly
+// written data is no longer "read-only hot".
+func (s *Steering) invalidateHot(disk int, op raid.SubOp) {
+	lru := s.hot[disk]
+	for i := 0; i < op.Pages; i++ {
+		lru.Remove(int32(op.Page + i))
+	}
+}

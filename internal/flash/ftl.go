@@ -1,0 +1,291 @@
+package flash
+
+import "fmt"
+
+// Page and block sentinels.
+const (
+	unmapped = int32(-1)
+)
+
+type blockState uint8
+
+const (
+	blockFree blockState = iota
+	blockActive
+	blockFull
+)
+
+type blockMeta struct {
+	state      blockState
+	validPages int32
+	writePtr   int32 // next page offset to program within the block
+	eraseCount int32
+}
+
+// FTL is a page-mapped flash translation layer.
+//
+// Each channel owns an independent pool of blocks and an active block that
+// absorbs programs. Host writes stripe across channels round-robin so that
+// sequential logical writes exploit channel parallelism, the behaviour the
+// paper's §II-B relies on ("the internal parallelism of flash-based SSDs").
+type FTL struct {
+	geom Geometry
+
+	l2p []int32 // logical page -> physical page, or unmapped
+	p2l []int32 // physical page -> logical page, or unmapped (free/invalid)
+
+	blocks []blockMeta
+
+	freeByChan [][]int // per-channel stacks of free block indices
+	// activeBlock is indexed [stream][channel]: stream 0 carries ordinary
+	// host data, stream 1 carries cold data (LPNs at or above coldStart —
+	// the staging region). Separating the streams keeps long-lived staging
+	// copies out of the blocks churned by hot user writes, the classic
+	// multi-stream FTL optimization.
+	activeBlock [2][]int
+	coldStart   int // first LPN of the cold stream (LogicalPages = none)
+	nextChan    int // round-robin cursor for host writes
+
+	freeBlocks  int // total blocks in blockFree state
+	mappedPages int // number of mapped logical pages
+
+	// Cumulative statistics.
+	hostWrites int64 // pages written by the host
+	gcWrites   int64 // pages copied by garbage collection
+	erases     int64 // blocks erased
+}
+
+// NewFTL creates an FTL with all blocks free and no mappings.
+func NewFTL(g Geometry) (*FTL, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	f := &FTL{
+		geom:       g,
+		l2p:        make([]int32, g.LogicalPages()),
+		p2l:        make([]int32, g.PhysPages()),
+		blocks:     make([]blockMeta, g.Blocks),
+		freeByChan: make([][]int, g.Channels),
+		coldStart:  g.LogicalPages(),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = unmapped
+	}
+	for i := range f.p2l {
+		f.p2l[i] = unmapped
+	}
+	for st := 0; st < 2; st++ {
+		f.activeBlock[st] = make([]int, g.Channels)
+		for c := 0; c < g.Channels; c++ {
+			f.activeBlock[st][c] = -1
+		}
+	}
+	// Populate free lists channel by channel, low block numbers first.
+	for b := g.Blocks - 1; b >= 0; b-- {
+		c := g.BlockChannel(b)
+		f.freeByChan[c] = append(f.freeByChan[c], b)
+	}
+	f.freeBlocks = g.Blocks
+	return f, nil
+}
+
+// Geometry returns the device geometry.
+func (f *FTL) Geometry() Geometry { return f.geom }
+
+// FreeBlocks returns the number of fully erased blocks.
+func (f *FTL) FreeBlocks() int { return f.freeBlocks }
+
+// MappedPages returns the number of logical pages with valid data.
+func (f *FTL) MappedPages() int { return f.mappedPages }
+
+// HostWrites returns the cumulative number of host page programs.
+func (f *FTL) HostWrites() int64 { return f.hostWrites }
+
+// GCWrites returns the cumulative number of GC page copies.
+func (f *FTL) GCWrites() int64 { return f.gcWrites }
+
+// Erases returns the cumulative number of block erases.
+func (f *FTL) Erases() int64 { return f.erases }
+
+// WriteAmplification returns (host+gc)/host page programs, or 1 when the
+// host has not written yet.
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 1
+	}
+	return float64(f.hostWrites+f.gcWrites) / float64(f.hostWrites)
+}
+
+// SetColdBoundary declares that LPNs at or above boundary belong to the
+// cold stream (the staging region). Pass LogicalPages() to disable.
+func (f *FTL) SetColdBoundary(boundary int) {
+	if boundary < 0 || boundary > len(f.l2p) {
+		panic(fmt.Sprintf("flash: cold boundary %d out of range", boundary))
+	}
+	f.coldStart = boundary
+}
+
+// streamOf returns the write stream for a logical page.
+func (f *FTL) streamOf(lpn int) int {
+	if lpn >= f.coldStart {
+		return 1
+	}
+	return 0
+}
+
+// Lookup returns the physical page holding logical page lpn, or -1 when the
+// page has never been written.
+func (f *FTL) Lookup(lpn int) int {
+	f.checkLPN(lpn)
+	return int(f.l2p[lpn])
+}
+
+// Write maps logical page lpn to a freshly allocated physical page and
+// invalidates the previous mapping. It returns the physical page programmed.
+// The caller is responsible for triggering garbage collection when
+// NeedGC reports true; Write itself never garbage-collects but will panic if
+// the device is truly out of free pages (which indicates the caller ignored
+// NeedGC far too long).
+func (f *FTL) Write(lpn int) int {
+	f.checkLPN(lpn)
+	f.invalidate(lpn)
+	stream := f.streamOf(lpn)
+	ppn := f.allocate(stream, f.pickWriteChannel(stream))
+	f.l2p[lpn] = int32(ppn)
+	f.p2l[ppn] = int32(lpn)
+	f.blocks[f.geom.PageBlock(ppn)].validPages++
+	f.mappedPages++
+	f.hostWrites++
+	return ppn
+}
+
+// Trim drops the mapping for lpn, marking its physical page invalid.
+func (f *FTL) Trim(lpn int) {
+	f.checkLPN(lpn)
+	f.invalidate(lpn)
+}
+
+func (f *FTL) checkLPN(lpn int) {
+	if lpn < 0 || lpn >= len(f.l2p) {
+		panic(fmt.Sprintf("flash: lpn %d out of range [0,%d)", lpn, len(f.l2p)))
+	}
+}
+
+// invalidate clears any existing mapping for lpn.
+func (f *FTL) invalidate(lpn int) {
+	old := f.l2p[lpn]
+	if old == unmapped {
+		return
+	}
+	f.l2p[lpn] = unmapped
+	f.p2l[old] = unmapped
+	f.blocks[f.geom.PageBlock(int(old))].validPages--
+	f.mappedPages--
+}
+
+// pickWriteChannel advances the round-robin cursor, skipping channels with
+// no room at all (every block full and no free block). If every channel is
+// exhausted it panics: GC must run before that point.
+func (f *FTL) pickWriteChannel(stream int) int {
+	for i := 0; i < f.geom.Channels; i++ {
+		c := f.nextChan
+		f.nextChan = (f.nextChan + 1) % f.geom.Channels
+		if f.channelHasRoom(stream, c) {
+			return c
+		}
+	}
+	panic("flash: device out of space on every channel; GC was not run")
+}
+
+func (f *FTL) channelHasRoom(stream, c int) bool {
+	if len(f.freeByChan[c]) > 0 {
+		return true
+	}
+	ab := f.activeBlock[stream][c]
+	return ab >= 0 && f.blocks[ab].writePtr < int32(f.geom.PagesPerBlock)
+}
+
+// allocate returns the next physical page on channel c in the given
+// stream, opening a fresh active block when the current one fills.
+func (f *FTL) allocate(stream, c int) int {
+	ab := f.activeBlock[stream][c]
+	if ab < 0 || f.blocks[ab].writePtr >= int32(f.geom.PagesPerBlock) {
+		if ab >= 0 {
+			f.blocks[ab].state = blockFull
+		}
+		n := len(f.freeByChan[c])
+		if n == 0 {
+			panic(fmt.Sprintf("flash: channel %d has no free blocks", c))
+		}
+		ab = f.freeByChan[c][n-1]
+		f.freeByChan[c] = f.freeByChan[c][:n-1]
+		f.freeBlocks--
+		f.blocks[ab].state = blockActive
+		f.blocks[ab].writePtr = 0
+		f.activeBlock[stream][c] = ab
+	}
+	ppn := ab*f.geom.PagesPerBlock + int(f.blocks[ab].writePtr)
+	f.blocks[ab].writePtr++
+	return ppn
+}
+
+// BlockValidPages returns the number of valid pages in block b (test hook).
+func (f *FTL) BlockValidPages(b int) int { return int(f.blocks[b].validPages) }
+
+// BlockEraseCount returns how many times block b has been erased.
+func (f *FTL) BlockEraseCount(b int) int { return int(f.blocks[b].eraseCount) }
+
+// CheckInvariants verifies internal consistency. It is exercised by tests
+// and by the property-based suite; production code never calls it.
+func (f *FTL) CheckInvariants() error {
+	mapped := 0
+	for lpn, ppn := range f.l2p {
+		if ppn == unmapped {
+			continue
+		}
+		mapped++
+		if f.p2l[ppn] != int32(lpn) {
+			return fmt.Errorf("flash: l2p[%d]=%d but p2l[%d]=%d", lpn, ppn, ppn, f.p2l[ppn])
+		}
+	}
+	if mapped != f.mappedPages {
+		return fmt.Errorf("flash: mappedPages=%d but %d mappings exist", f.mappedPages, mapped)
+	}
+	validByBlock := make([]int32, f.geom.Blocks)
+	for ppn, lpn := range f.p2l {
+		if lpn == unmapped {
+			continue
+		}
+		if f.l2p[lpn] != int32(ppn) {
+			return fmt.Errorf("flash: p2l[%d]=%d but l2p[%d]=%d", ppn, lpn, lpn, f.l2p[lpn])
+		}
+		validByBlock[f.geom.PageBlock(ppn)]++
+	}
+	freeCount := 0
+	for b := range f.blocks {
+		if f.blocks[b].validPages != validByBlock[b] {
+			return fmt.Errorf("flash: block %d validPages=%d, recount=%d",
+				b, f.blocks[b].validPages, validByBlock[b])
+		}
+		if f.blocks[b].state == blockFree {
+			freeCount++
+			if validByBlock[b] != 0 {
+				return fmt.Errorf("flash: free block %d has %d valid pages", b, validByBlock[b])
+			}
+		}
+	}
+	if freeCount != f.freeBlocks {
+		return fmt.Errorf("flash: freeBlocks=%d, recount=%d", f.freeBlocks, freeCount)
+	}
+	for c, list := range f.freeByChan {
+		for _, b := range list {
+			if f.geom.BlockChannel(b) != c {
+				return fmt.Errorf("flash: block %d on free list of channel %d", b, c)
+			}
+			if f.blocks[b].state != blockFree {
+				return fmt.Errorf("flash: non-free block %d on free list", b)
+			}
+		}
+	}
+	return nil
+}

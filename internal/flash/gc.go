@@ -1,0 +1,175 @@
+package flash
+
+// Move records one valid-page copy performed by garbage collection: the
+// page is read from From and programmed at To. Channels for timing purposes
+// derive from the geometry (From and To may live on different channels when
+// the victim's own channel is out of room).
+type Move struct {
+	From, To int
+}
+
+// VictimPlan describes the collection of a single erase block: all valid
+// pages are moved out, then the block is erased.
+type VictimPlan struct {
+	Block   int
+	Channel int
+	Moves   []Move
+}
+
+// Plan is the outcome of one garbage-collection episode. The FTL state is
+// already updated when a Plan is returned; the plan exists so the timed
+// device model can charge the channel time the episode consumed.
+type Plan struct {
+	Victims    []VictimPlan
+	PagesMoved int
+	Erases     int
+}
+
+// Empty reports whether the episode did no work.
+func (p Plan) Empty() bool { return len(p.Victims) == 0 }
+
+// NeedGC reports whether free space has fallen to or below the low
+// watermark (in blocks).
+func (f *FTL) NeedGC(lowWater int) bool { return f.freeBlocks <= lowWater }
+
+// CollectUntil runs a greedy garbage-collection episode: it repeatedly
+// selects the fullest-of-invalid victim block, relocates its valid pages,
+// and erases it, until the free-block count reaches targetFree and at least
+// minVictims blocks have been collected. Blocks whose pages are all valid
+// are never selected (collecting them frees nothing). The returned plan
+// lists every page move and erase so the caller can model their latency.
+//
+// minVictims > 0 forces work even when free space is already above the
+// target; the GGC policy uses this to make every device collect when any
+// one device collects, reproducing the higher total GC counts the paper
+// reports for GGC (Fig. 7b).
+func (f *FTL) CollectUntil(targetFree, minVictims int) Plan {
+	var plan Plan
+	for f.freeBlocks < targetFree || len(plan.Victims) < minVictims {
+		b := f.pickVictim()
+		if b < 0 {
+			break // nothing collectible
+		}
+		vp := f.collectBlock(b)
+		plan.Victims = append(plan.Victims, vp)
+		plan.PagesMoved += len(vp.Moves)
+		plan.Erases++
+	}
+	return plan
+}
+
+// pickVictim returns the full block with the most invalid pages, or -1 when
+// no block has any invalid page. Ties break toward lower block numbers for
+// determinism.
+func (f *FTL) pickVictim() int {
+	best, bestInvalid := -1, 0
+	ppb := int32(f.geom.PagesPerBlock)
+	for b := range f.blocks {
+		if f.blocks[b].state != blockFull {
+			continue
+		}
+		invalid := int(ppb - f.blocks[b].validPages)
+		if invalid > bestInvalid {
+			best, bestInvalid = b, invalid
+		}
+	}
+	return best
+}
+
+// collectBlock relocates every valid page of block b and erases it.
+// Destinations rotate across channels just like host writes do, so the
+// relocation programs proceed in parallel instead of serializing behind
+// the victim's own channel.
+func (f *FTL) collectBlock(b int) VictimPlan {
+	vp := VictimPlan{Block: b, Channel: f.geom.BlockChannel(b)}
+	base := b * f.geom.PagesPerBlock
+	for off := 0; off < f.geom.PagesPerBlock; off++ {
+		from := base + off
+		lpn := f.p2l[from]
+		if lpn == unmapped {
+			continue
+		}
+		preferred := f.nextChan
+		f.nextChan = (f.nextChan + 1) % f.geom.Channels
+		to := f.allocateForGC(f.streamOf(int(lpn)), preferred, b)
+		// Relocate the mapping.
+		f.p2l[from] = unmapped
+		f.blocks[b].validPages--
+		f.l2p[lpn] = int32(to)
+		f.p2l[to] = lpn
+		f.blocks[f.geom.PageBlock(to)].validPages++
+		f.gcWrites++
+		vp.Moves = append(vp.Moves, Move{From: from, To: to})
+	}
+	// Erase.
+	f.blocks[b].state = blockFree
+	f.blocks[b].writePtr = 0
+	f.blocks[b].eraseCount++
+	f.erases++
+	for st := 0; st < 2; st++ {
+		if f.activeBlock[st][vp.Channel] == b {
+			f.activeBlock[st][vp.Channel] = -1
+		}
+	}
+	f.freeByChan[vp.Channel] = append(f.freeByChan[vp.Channel], b)
+	f.freeBlocks++
+	return vp
+}
+
+// allocateForGC allocates a destination page for a GC move, preferring the
+// victim's own channel and spilling to other channels when it is full. The
+// victim block itself is excluded as a destination (it is about to be
+// erased).
+func (f *FTL) allocateForGC(stream, preferred, victim int) int {
+	if f.channelHasRoomExcluding(stream, preferred, victim) {
+		return f.allocateExcluding(stream, preferred, victim)
+	}
+	for i := 1; i < f.geom.Channels; i++ {
+		c := (preferred + i) % f.geom.Channels
+		if f.channelHasRoomExcluding(stream, c, victim) {
+			return f.allocateExcluding(stream, c, victim)
+		}
+	}
+	panic("flash: no room anywhere for GC relocation; over-provisioning too small")
+}
+
+func (f *FTL) channelHasRoomExcluding(stream, c, victim int) bool {
+	for _, b := range f.freeByChan[c] {
+		if b != victim {
+			return true
+		}
+	}
+	ab := f.activeBlock[stream][c]
+	return ab >= 0 && ab != victim && f.blocks[ab].writePtr < int32(f.geom.PagesPerBlock)
+}
+
+// allocateExcluding is allocate but will never open the excluded block as
+// the active block.
+func (f *FTL) allocateExcluding(stream, c, excluded int) int {
+	ab := f.activeBlock[stream][c]
+	if ab < 0 || ab == excluded || f.blocks[ab].writePtr >= int32(f.geom.PagesPerBlock) {
+		if ab >= 0 && f.blocks[ab].writePtr >= int32(f.geom.PagesPerBlock) {
+			f.blocks[ab].state = blockFull
+		}
+		idx := -1
+		for i := len(f.freeByChan[c]) - 1; i >= 0; i-- {
+			if f.freeByChan[c][i] != excluded {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("flash: allocateExcluding called with no eligible free block")
+		}
+		nb := f.freeByChan[c][idx]
+		f.freeByChan[c] = append(f.freeByChan[c][:idx], f.freeByChan[c][idx+1:]...)
+		f.freeBlocks--
+		f.blocks[nb].state = blockActive
+		f.blocks[nb].writePtr = 0
+		f.activeBlock[stream][c] = nb
+		ab = nb
+	}
+	ppn := ab*f.geom.PagesPerBlock + int(f.blocks[ab].writePtr)
+	f.blocks[ab].writePtr++
+	return ppn
+}

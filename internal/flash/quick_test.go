@@ -1,0 +1,130 @@
+package flash
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// opScript is a randomized FTL operation sequence used for property tests.
+type opScript struct {
+	Seed int64
+	N    uint16
+}
+
+// Generate implements quick.Generator.
+func (opScript) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(opScript{Seed: r.Int63(), N: uint16(r.Intn(4000))})
+}
+
+// TestQuickInvariantsUnderRandomOps drives random write/trim/GC sequences
+// and checks the full FTL invariant set after every GC episode and at the
+// end. This is the core safety property: no operation sequence may ever
+// corrupt the translation layer.
+func TestQuickInvariantsUnderRandomOps(t *testing.T) {
+	g := testGeom()
+	f := func(s opScript) bool {
+		ftl, err := NewFTL(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(s.Seed))
+		lp := g.LogicalPages()
+		for i := 0; i < int(s.N); i++ {
+			switch rng.Intn(10) {
+			case 0:
+				ftl.Trim(rng.Intn(lp))
+			default:
+				ftl.Write(rng.Intn(lp))
+			}
+			if ftl.NeedGC(2) {
+				ftl.CollectUntil(5, 0)
+				if err := ftl.CheckInvariants(); err != nil {
+					t.Logf("invariant violated mid-run: %v", err)
+					return false
+				}
+			}
+		}
+		return ftl.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMappingsSurviveGC checks read-your-writes: after any op
+// sequence, each LPN's translation must reflect the most recent operation
+// on it (write → mapped, trim → unmapped).
+func TestQuickMappingsSurviveGC(t *testing.T) {
+	g := testGeom()
+	f := func(s opScript) bool {
+		ftl, err := NewFTL(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(s.Seed))
+		lp := g.LogicalPages()
+		shadow := make([]bool, lp) // true = mapped
+		for i := 0; i < int(s.N); i++ {
+			lpn := rng.Intn(lp)
+			if rng.Intn(10) == 0 {
+				ftl.Trim(lpn)
+				shadow[lpn] = false
+			} else {
+				ftl.Write(lpn)
+				shadow[lpn] = true
+			}
+			if ftl.NeedGC(2) {
+				ftl.CollectUntil(5, 0)
+			}
+		}
+		for lpn, mapped := range shadow {
+			if mapped != (ftl.Lookup(lpn) >= 0) {
+				t.Logf("lpn %d: shadow mapped=%v, ftl=%d", lpn, mapped, ftl.Lookup(lpn))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoPhysicalAliasing ensures two distinct LPNs never map to the
+// same physical page.
+func TestQuickNoPhysicalAliasing(t *testing.T) {
+	g := testGeom()
+	f := func(s opScript) bool {
+		ftl, err := NewFTL(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(s.Seed))
+		lp := g.LogicalPages()
+		for i := 0; i < int(s.N); i++ {
+			ftl.Write(rng.Intn(lp))
+			if ftl.NeedGC(2) {
+				ftl.CollectUntil(5, 0)
+			}
+		}
+		seen := make(map[int]int)
+		for lpn := 0; lpn < lp; lpn++ {
+			ppn := ftl.Lookup(lpn)
+			if ppn < 0 {
+				continue
+			}
+			if prev, dup := seen[ppn]; dup {
+				t.Logf("lpns %d and %d alias ppn %d", prev, lpn, ppn)
+				return false
+			}
+			seen[ppn] = lpn
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

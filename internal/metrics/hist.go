@@ -1,0 +1,272 @@
+// Package metrics provides the statistics primitives used by the
+// simulator: streaming means, log-bucketed latency histograms with
+// percentile queries, and labelled counters.
+//
+// Everything here is allocation-light and safe to update once per simulated
+// I/O; a single experiment records millions of samples.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// subBuckets is the number of linear sub-buckets per power-of-two range.
+// 16 sub-buckets bounds the relative quantile error at ~6%.
+const subBuckets = 16
+
+// maxBuckets covers values up to ~2^40 ns (~18 minutes) which is far beyond
+// any sane response time.
+const maxBuckets = 41 * subBuckets
+
+// Hist is a log-linear histogram of non-negative int64 samples (typically
+// latencies in nanoseconds). The zero value is ready to use.
+type Hist struct {
+	counts [maxBuckets]uint64
+	n      uint64
+	sum    float64
+	sumSq  float64
+	min    int64
+	max    int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v) // exact for tiny values
+	}
+	// Position of the highest set bit.
+	exp := 63 - leadingZeros(uint64(v))
+	// Linear interpolation within the power-of-two range.
+	frac := (v - (1 << exp)) >> (exp - 4) // 0..15 given subBuckets == 16
+	idx := (exp-3)*subBuckets + int(frac)
+	if idx >= maxBuckets {
+		idx = maxBuckets - 1
+	}
+	return idx
+}
+
+// bucketLow returns the smallest value mapping to bucket idx, the inverse of
+// bucketOf used when reporting percentiles.
+func bucketLow(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := idx/subBuckets + 3
+	frac := idx % subBuckets
+	return (1 << exp) + int64(frac)<<(exp-4)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	f := float64(v)
+	h.sum += f
+	h.sumSq += f * f
+}
+
+// Count returns the number of samples observed.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Mean returns the arithmetic mean of all samples, or 0 with no samples.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Stddev returns the population standard deviation.
+func (h *Hist) Stddev() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.sumSq/float64(h.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observed sample, or 0 with no samples.
+func (h *Hist) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed sample.
+func (h *Hist) Max() int64 { return h.max }
+
+// Sum returns the sum of all samples.
+func (h *Hist) Sum() float64 { return h.sum }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1). The
+// exact min and max are returned at the extremes so tail reporting never
+// understates the worst observation.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.n))
+	if rank >= h.n {
+		rank = h.n - 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > rank {
+			lo := bucketLow(i)
+			if lo < h.min {
+				lo = h.min
+			}
+			if lo > h.max {
+				lo = h.max
+			}
+			return lo
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.n == 0 {
+		return
+	}
+	if h.n == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.n += other.n
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+}
+
+// Reset clears the histogram to its zero state.
+func (h *Hist) Reset() { *h = Hist{} }
+
+// Summary is a fixed snapshot of the statistics most experiments report.
+type Summary struct {
+	Count  uint64
+	Mean   float64
+	Stddev float64
+	Min    int64
+	Max    int64
+	P50    int64
+	P90    int64
+	P95    int64
+	P99    int64
+	P999   int64
+}
+
+// Summarize extracts a Summary snapshot.
+func (h *Hist) Summarize() Summary {
+	return Summary{
+		Count:  h.n,
+		Mean:   h.Mean(),
+		Stddev: h.Stddev(),
+		Min:    h.Min(),
+		Max:    h.Max(),
+		P50:    h.Quantile(0.50),
+		P90:    h.Quantile(0.90),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+		P999:   h.Quantile(0.999),
+	}
+}
+
+// String renders the summary with microsecond units, the natural scale for
+// SSD latencies.
+func (s Summary) String() string {
+	us := func(v int64) string { return fmt.Sprintf("%.1fµs", float64(v)/1e3) }
+	return fmt.Sprintf("n=%d mean=%.1fµs p50=%s p95=%s p99=%s p99.9=%s max=%s",
+		s.Count, s.Mean/1e3, us(s.P50), us(s.P95), us(s.P99), us(s.P999), us(s.Max))
+}
+
+// CounterSet is an ordered collection of named int64 counters.
+type CounterSet struct {
+	names  []string
+	values map[string]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet {
+	return &CounterSet{values: make(map[string]int64)}
+}
+
+// Add increments a named counter, registering it on first use.
+func (c *CounterSet) Add(name string, delta int64) {
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += delta
+}
+
+// Get returns the value of a counter (0 if never incremented).
+func (c *CounterSet) Get(name string) int64 { return c.values[name] }
+
+// Names returns the registered counter names sorted alphabetically.
+func (c *CounterSet) Names() []string {
+	out := append([]string(nil), c.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Merge adds all counters of other into c.
+func (c *CounterSet) Merge(other *CounterSet) {
+	for _, n := range other.Names() {
+		c.Add(n, other.Get(n))
+	}
+}
+
+// String renders "name=value" pairs sorted by name.
+func (c *CounterSet) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.values[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TimeSeries buckets samples into fixed wall-clock windows and reports a
+// per-window summary. The simulator uses it to reproduce the paper's
+// Figure 1 view: how response times oscillate as individual SSDs enter and
+// leave garbage collection, and how coordination (GGC) or steering changes
+// the oscillation.
+type TimeSeries struct {
+	window  int64 // ns per bucket
+	buckets []Welford
+	maxs    []int64
+}
+
+// NewTimeSeries creates a series with the given window length in
+// nanoseconds (must be positive).
+func NewTimeSeries(windowNs int64) *TimeSeries {
+	if windowNs <= 0 {
+		panic("metrics: non-positive window")
+	}
+	return &TimeSeries{window: windowNs}
+}
+
+// Observe records a sample value observed at time t (ns).
+func (s *TimeSeries) Observe(t, value int64) {
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / s.window)
+	for len(s.buckets) <= idx {
+		s.buckets = append(s.buckets, Welford{})
+		s.maxs = append(s.maxs, 0)
+	}
+	s.buckets[idx].Observe(float64(value))
+	if value > s.maxs[idx] {
+		s.maxs[idx] = value
+	}
+}
+
+// Windows returns the number of buckets (including empty interior ones).
+func (s *TimeSeries) Windows() int { return len(s.buckets) }
+
+// WindowNs returns the bucket width.
+func (s *TimeSeries) WindowNs() int64 { return s.window }
+
+// Mean returns the mean of window i (0 when the window saw no samples).
+func (s *TimeSeries) Mean(i int) float64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return s.buckets[i].Mean()
+}
+
+// Count returns the number of samples in window i.
+func (s *TimeSeries) Count(i int) uint64 {
+	if i < 0 || i >= len(s.buckets) {
+		return 0
+	}
+	return s.buckets[i].Count()
+}
+
+// Max returns the largest sample in window i.
+func (s *TimeSeries) Max(i int) int64 {
+	if i < 0 || i >= len(s.maxs) {
+		return 0
+	}
+	return s.maxs[i]
+}
+
+// Means returns the per-window means for non-empty windows, in order.
+func (s *TimeSeries) Means() []float64 {
+	out := make([]float64, 0, len(s.buckets))
+	for i := range s.buckets {
+		if s.buckets[i].Count() > 0 {
+			out = append(out, s.buckets[i].Mean())
+		}
+	}
+	return out
+}
+
+// VariabilityCV returns the coefficient of variation (stddev/mean) of the
+// per-window means — the paper's "serious performance variability" in one
+// number. Zero when fewer than two windows have samples.
+func (s *TimeSeries) VariabilityCV() float64 {
+	means := s.Means()
+	if len(means) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, m := range means {
+		sum += m
+	}
+	mean := sum / float64(len(means))
+	if mean == 0 {
+		return 0
+	}
+	var m2 float64
+	for _, m := range means {
+		m2 += (m - mean) * (m - mean)
+	}
+	return math.Sqrt(m2/float64(len(means))) / mean
+}
+
+// Sparkline renders the per-window means as a compact ASCII profile, the
+// Figure 1 look: peaks are GC interference windows.
+func (s *TimeSeries) Sparkline(width int) string {
+	means := s.Means()
+	if len(means) == 0 {
+		return ""
+	}
+	if width > 0 && len(means) > width {
+		// Downsample by averaging consecutive groups.
+		group := (len(means) + width - 1) / width
+		var out []float64
+		for i := 0; i < len(means); i += group {
+			end := i + group
+			if end > len(means) {
+				end = len(means)
+			}
+			var g float64
+			for _, m := range means[i:end] {
+				g += m
+			}
+			out = append(out, g/float64(end-i))
+		}
+		means = out
+	}
+	var max float64
+	for _, m := range means {
+		if m > max {
+			max = m
+		}
+	}
+	if max == 0 {
+		return strings.Repeat("▁", len(means))
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, m := range means {
+		idx := int(m / max * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}
+
+// String summarizes the series.
+func (s *TimeSeries) String() string {
+	return fmt.Sprintf("windows=%d cv=%.3f", len(s.Means()), s.VariabilityCV())
+}

@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	s := NewTimeSeries(100)
+	s.Observe(0, 10)
+	s.Observe(50, 30)
+	s.Observe(150, 100)
+	s.Observe(950, 7)
+	if s.Windows() != 10 {
+		t.Fatalf("Windows = %d, want 10", s.Windows())
+	}
+	if s.Mean(0) != 20 {
+		t.Fatalf("Mean(0) = %v", s.Mean(0))
+	}
+	if s.Count(1) != 1 || s.Mean(1) != 100 {
+		t.Fatalf("window 1: count=%d mean=%v", s.Count(1), s.Mean(1))
+	}
+	if s.Max(1) != 100 {
+		t.Fatalf("Max(1) = %d", s.Max(1))
+	}
+	if s.Count(5) != 0 || s.Mean(5) != 0 {
+		t.Fatal("empty interior window must report zeros")
+	}
+	if s.Mean(-1) != 0 || s.Mean(99) != 0 || s.Max(99) != 0 || s.Count(99) != 0 {
+		t.Fatal("out-of-range windows must report zeros")
+	}
+	if s.WindowNs() != 100 {
+		t.Fatal("WindowNs")
+	}
+}
+
+func TestTimeSeriesNegativeTimeClamped(t *testing.T) {
+	s := NewTimeSeries(100)
+	s.Observe(-5, 42)
+	if s.Count(0) != 1 {
+		t.Fatal("negative time not clamped to window 0")
+	}
+}
+
+func TestTimeSeriesMeansSkipsEmpty(t *testing.T) {
+	s := NewTimeSeries(10)
+	s.Observe(0, 5)
+	s.Observe(95, 15)
+	means := s.Means()
+	if len(means) != 2 || means[0] != 5 || means[1] != 15 {
+		t.Fatalf("Means = %v", means)
+	}
+}
+
+func TestVariabilityCV(t *testing.T) {
+	flat := NewTimeSeries(10)
+	for i := int64(0); i < 10; i++ {
+		flat.Observe(i*10, 100)
+	}
+	if cv := flat.VariabilityCV(); cv != 0 {
+		t.Fatalf("flat CV = %v", cv)
+	}
+	spiky := NewTimeSeries(10)
+	for i := int64(0); i < 10; i++ {
+		v := int64(10)
+		if i%2 == 0 {
+			v = 1000
+		}
+		spiky.Observe(i*10, v)
+	}
+	if cv := spiky.VariabilityCV(); cv < 0.5 {
+		t.Fatalf("spiky CV = %v, want large", cv)
+	}
+	empty := NewTimeSeries(10)
+	if empty.VariabilityCV() != 0 {
+		t.Fatal("empty CV must be 0")
+	}
+	single := NewTimeSeries(10)
+	single.Observe(0, 5)
+	if single.VariabilityCV() != 0 {
+		t.Fatal("single-window CV must be 0")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := NewTimeSeries(10)
+	for i := int64(0); i < 8; i++ {
+		s.Observe(i*10, i*10+1)
+	}
+	sp := s.Sparkline(0)
+	if len([]rune(sp)) != 8 {
+		t.Fatalf("sparkline %q has wrong length", sp)
+	}
+	if !strings.HasPrefix(sp, "▁") || !strings.HasSuffix(sp, "█") {
+		t.Fatalf("sparkline %q not increasing", sp)
+	}
+	// Downsampling to a narrower width.
+	narrow := s.Sparkline(4)
+	if len([]rune(narrow)) != 4 {
+		t.Fatalf("downsampled sparkline %q", narrow)
+	}
+	if NewTimeSeries(10).Sparkline(5) != "" {
+		t.Fatal("empty series must render empty")
+	}
+}
+
+func TestSparklineAllZeros(t *testing.T) {
+	s := NewTimeSeries(10)
+	s.Observe(0, 0)
+	s.Observe(10, 0)
+	if sp := s.Sparkline(0); sp != "▁▁" {
+		t.Fatalf("all-zero sparkline %q", sp)
+	}
+}
+
+func TestTimeSeriesString(t *testing.T) {
+	s := NewTimeSeries(10)
+	s.Observe(0, 1)
+	if got := s.String(); !strings.Contains(got, "windows=1") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestNewTimeSeriesPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	NewTimeSeries(0)
+}

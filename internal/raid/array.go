@@ -1,0 +1,575 @@
+package raid
+
+import (
+	"fmt"
+
+	"gcsteering/internal/sim"
+)
+
+// Disk is the device interface the timed array drives. *ssd.Device
+// implements it; tests substitute fixed-latency fakes.
+type Disk interface {
+	Read(now sim.Time, page, pages int, done func(now sim.Time))
+	Write(now sim.Time, page, pages int, done func(now sim.Time))
+	LogicalPages() int
+	InGC(now sim.Time) bool
+}
+
+// OpKind labels a sub-operation so routing policies (the GC-Steering
+// redirector) can tell user data traffic from parity maintenance and
+// recovery traffic.
+type OpKind int
+
+const (
+	// OpDataRead reads user data.
+	OpDataRead OpKind = iota
+	// OpDataWrite writes user data.
+	OpDataWrite
+	// OpOldDataRead is the read-old-data half of a read-modify-write.
+	OpOldDataRead
+	// OpParityRead reads parity (RMW phase 1 or degraded reconstruction).
+	OpParityRead
+	// OpParityWrite writes parity. The paper requires parity to be updated
+	// in its correct position even while the data write is steered away, so
+	// routers must never redirect this kind.
+	OpParityWrite
+)
+
+// String returns a short label for the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpDataRead:
+		return "data-read"
+	case OpDataWrite:
+		return "data-write"
+	case OpOldDataRead:
+		return "old-data-read"
+	case OpParityRead:
+		return "parity-read"
+	case OpParityWrite:
+		return "parity-write"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// SubOp is one disk-level operation produced by splitting a user request.
+type SubOp struct {
+	Disk   int
+	Page   int // first page on the member disk
+	Pages  int
+	Kind   OpKind
+	Stripe int
+}
+
+// RouteFunc lets a policy claim a sub-op. Returning true means the policy
+// services the op itself and will invoke done when it completes; returning
+// false sends the op to the member disk as usual.
+type RouteFunc func(now sim.Time, op SubOp, done func(now sim.Time)) bool
+
+// Stats counts array-level activity.
+type Stats struct {
+	UserReads      int64
+	UserWrites     int64
+	SubOps         int64
+	DegradedReads  int64 // reconstruct-reads for data on the failed disk
+	FullStripes    int64 // writes served as full-stripe (no RMW read phase)
+	RMWStripes     int64 // writes served read-modify-write
+	ReconstructWr  int64 // degraded reconstruct-writes
+	GCAvoidWrites  int64 // reconstruct-writes chosen to dodge a collecting disk
+	ParityPages    int64 // parity pages written
+	RoutedSubOps   int64 // sub-ops claimed by the Route hook
+	SubOpsDuringGC int64 // sub-ops addressed to a disk while it was in GC
+}
+
+// Array is the timed RAID engine: it fans user requests out to member
+// disks with correct RAID5/6 read-modify-write and degraded-mode behaviour
+// and reports completion on the simulation clock. It moves no actual bytes
+// (Store is the byte-accurate reference); it models who does I/O and when.
+type Array struct {
+	eng    *sim.Engine
+	lay    Layout
+	disks  []Disk
+	failed []int
+
+	// Route, when non-nil, is consulted for every sub-op before it is
+	// issued to a member disk. The GC-Steering redirector installs itself
+	// here.
+	Route RouteFunc
+
+	// GCAwareWrites switches partial-stripe writes whose old-data read
+	// would land on a collecting disk from read-modify-write to
+	// reconstruct-write (read the stripe's other data units from healthy
+	// disks and re-encode parity). Together with the redirector this keeps
+	// user traffic off collecting disks entirely. Baseline schemes (LGC,
+	// GGC) leave it false.
+	GCAwareWrites bool
+
+	mirrorNext int // round-robin cursor for RAID1 read balancing
+	stats      Stats
+}
+
+// NewArray builds an array over the given member disks.
+func NewArray(eng *sim.Engine, lay Layout, disks []Disk) (*Array, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	if len(disks) != lay.Disks {
+		return nil, fmt.Errorf("raid: layout wants %d disks, got %d", lay.Disks, len(disks))
+	}
+	for i, d := range disks {
+		if d.LogicalPages() < lay.DiskPages {
+			return nil, fmt.Errorf("raid: disk %d has %d pages, layout needs %d",
+				i, d.LogicalPages(), lay.DiskPages)
+		}
+	}
+	return &Array{eng: eng, lay: lay, disks: disks}, nil
+}
+
+// Layout returns the array layout.
+func (a *Array) Layout() Layout { return a.lay }
+
+// Disks returns the member disks (index = disk id).
+func (a *Array) Disks() []Disk { return a.disks }
+
+// Stats returns a snapshot of the counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// Failed returns the oldest failed disk id or -1 (the disk the
+// reconstruction engine should rebuild first).
+func (a *Array) Failed() int {
+	if len(a.failed) == 0 {
+		return -1
+	}
+	return a.failed[0]
+}
+
+// FailedDisks returns all failed disk ids.
+func (a *Array) FailedDisks() []int { return append([]int(nil), a.failed...) }
+
+// Degraded reports whether any member disk is failed.
+func (a *Array) Degraded() bool { return len(a.failed) > 0 }
+
+// maxFailures is the layout's fault tolerance.
+func (a *Array) maxFailures() int {
+	switch a.lay.Level {
+	case RAID6:
+		return 2
+	case RAID1:
+		return a.lay.Disks - 1
+	case RAID5:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// FailDisk marks member d failed. Subsequent reads reconstruct from the
+// survivors; writes use reconstruct-write. RAID6 tolerates a second
+// failure (the paper's §III-D second-failure scenario).
+func (a *Array) FailDisk(d int) error {
+	if d < 0 || d >= a.lay.Disks {
+		return fmt.Errorf("raid: no disk %d", d)
+	}
+	if !a.alive(d) {
+		return fmt.Errorf("raid: disk %d already failed", d)
+	}
+	if len(a.failed) >= a.maxFailures() {
+		return fmt.Errorf("raid: %v cannot survive %d failures", a.lay.Level, len(a.failed)+1)
+	}
+	a.failed = append(a.failed, d)
+	return nil
+}
+
+// RepairDisk installs a replacement for the oldest failed slot (after the
+// reconstruction engine has rebuilt its contents). Passing nil keeps the
+// existing Disk object (used when the failed device was logically replaced
+// in place).
+func (a *Array) RepairDisk(replacement Disk) error {
+	if len(a.failed) == 0 {
+		return fmt.Errorf("raid: no failed disk to repair")
+	}
+	if replacement != nil {
+		if replacement.LogicalPages() < a.lay.DiskPages {
+			return fmt.Errorf("raid: replacement too small")
+		}
+		a.disks[a.failed[0]] = replacement
+	}
+	a.failed = a.failed[1:]
+	return nil
+}
+
+func (a *Array) alive(d int) bool {
+	for _, f := range a.failed {
+		if f == d {
+			return false
+		}
+	}
+	return true
+}
+
+// issue routes one sub-op to the member disk (or the Route hook).
+func (a *Array) issue(now sim.Time, op SubOp, done func(now sim.Time)) {
+	if !a.alive(op.Disk) {
+		panic(fmt.Sprintf("raid: sub-op issued to failed disk %d", op.Disk))
+	}
+	a.stats.SubOps++
+	if a.disks[op.Disk].InGC(now) {
+		a.stats.SubOpsDuringGC++
+	}
+	if a.Route != nil && a.Route(now, op, done) {
+		a.stats.RoutedSubOps++
+		return
+	}
+	if op.Kind == OpDataWrite || op.Kind == OpParityWrite {
+		a.disks[op.Disk].Write(now, op.Page, op.Pages, done)
+	} else {
+		a.disks[op.Disk].Read(now, op.Page, op.Pages, done)
+	}
+}
+
+// barrier returns a completion callback that fires done after n calls,
+// passing the latest completion time. With done == nil it returns nil.
+func barrier(n int, done func(now sim.Time)) func(now sim.Time) {
+	if done == nil {
+		return nil
+	}
+	remain := n
+	return func(t sim.Time) {
+		remain--
+		if remain == 0 {
+			done(t)
+		}
+	}
+}
+
+// Read services a user read of pages logical pages starting at page. done,
+// if non-nil, fires when the last byte is available.
+func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
+	a.checkRange(page, pages)
+	a.stats.UserReads++
+	exts := a.lay.SplitExtent(page, pages)
+	// Pre-count sub-ops so a single barrier covers the whole request.
+	type issueItem struct {
+		op SubOp
+	}
+	var items []issueItem
+	for _, e := range exts {
+		switch {
+		case a.lay.Level == RAID1:
+			d := a.pickMirror()
+			items = append(items, issueItem{SubOp{Disk: d, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe}})
+		case a.alive(e.Disk):
+			items = append(items, issueItem{SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe}})
+		default:
+			// Degraded: rebuild this extent from the surviving data units
+			// plus enough parity at the same in-unit offsets. With one data
+			// unit missing, P (or Q when P is also gone) suffices; with two
+			// missing (RAID6 double failure), both P and Q are needed.
+			a.stats.DegradedReads++
+			unitOff := e.Page - a.lay.UnitPage(e.Stripe)
+			missingData := 0
+			for idx := 0; idx < a.lay.DataDisks(); idx++ {
+				d := a.lay.DataDisk(e.Stripe, idx)
+				if d == e.Disk {
+					continue
+				}
+				if !a.alive(d) {
+					missingData++
+					continue
+				}
+				items = append(items, issueItem{SubOp{Disk: d, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe}})
+			}
+			parityNeeded := 1 + missingData
+			if pd := a.lay.ParityDisk(e.Stripe); pd >= 0 && a.alive(pd) && parityNeeded > 0 {
+				items = append(items, issueItem{SubOp{Disk: pd, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpParityRead, Stripe: e.Stripe}})
+				parityNeeded--
+			}
+			if qd := a.lay.QDisk(e.Stripe); qd >= 0 && a.alive(qd) && parityNeeded > 0 {
+				items = append(items, issueItem{SubOp{Disk: qd, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpParityRead, Stripe: e.Stripe}})
+			}
+		}
+	}
+	cb := barrier(len(items), done)
+	for _, it := range items {
+		a.issue(now, it.op, cb)
+	}
+}
+
+// pickMirror returns the next alive mirror for RAID1 read balancing.
+func (a *Array) pickMirror() int {
+	for i := 0; i < a.lay.Disks; i++ {
+		d := (a.mirrorNext + i) % a.lay.Disks
+		if a.alive(d) {
+			a.mirrorNext = (d + 1) % a.lay.Disks
+			return d
+		}
+	}
+	panic("raid: no surviving mirror")
+}
+
+// stripeGroup is the portion of a write touching one stripe.
+type stripeGroup struct {
+	stripe int
+	exts   []Extent
+}
+
+// Write services a user write. RAID5/6 stripes touched in full are written
+// without a read phase; partial stripes use two-phase read-modify-write
+// (or reconstruct-write when degraded), with phase 2 starting only after
+// every phase-1 read has completed — matching the dependency structure of
+// a real RAID controller.
+func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) {
+	a.checkRange(page, pages)
+	a.stats.UserWrites++
+	exts := a.lay.SplitExtent(page, pages)
+
+	switch a.lay.Level {
+	case RAID0:
+		cb := barrier(len(exts), done)
+		for _, e := range exts {
+			a.issue(now, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, cb)
+		}
+		return
+	case RAID1:
+		alive := 0
+		for d := 0; d < a.lay.Disks; d++ {
+			if a.alive(d) {
+				alive++
+			}
+		}
+		cb := barrier(len(exts)*alive, done)
+		for _, e := range exts {
+			for d := 0; d < a.lay.Disks; d++ {
+				if a.alive(d) {
+					a.issue(now, SubOp{Disk: d, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, cb)
+				}
+			}
+		}
+		return
+	}
+
+	// RAID5/6: group extents by stripe.
+	var groups []stripeGroup
+	for _, e := range exts {
+		if n := len(groups); n > 0 && groups[n-1].stripe == e.Stripe {
+			groups[n-1].exts = append(groups[n-1].exts, e)
+		} else {
+			groups = append(groups, stripeGroup{stripe: e.Stripe, exts: []Extent{e}})
+		}
+	}
+	cb := barrier(len(groups), done)
+	for _, g := range groups {
+		a.writeStripe(now, g, cb)
+	}
+}
+
+// writeStripe performs the write of one stripe's worth of extents.
+func (a *Array) writeStripe(now sim.Time, g stripeGroup, done func(now sim.Time)) {
+	lay := a.lay
+	st := g.stripe
+	base := lay.UnitPage(st)
+
+	// Union of touched in-unit offsets (contiguous for a contiguous write).
+	lo, hi := lay.UnitPages, 0
+	covered := 0
+	for _, e := range g.exts {
+		off := e.Page - base
+		if off < lo {
+			lo = off
+		}
+		if off+e.Pages > hi {
+			hi = off + e.Pages
+		}
+		covered += e.Pages
+	}
+	parityPages := hi - lo
+	fullStripe := covered == lay.DataDisks()*lay.UnitPages
+
+	pd := lay.ParityDisk(st)
+	qd := lay.QDisk(st)
+
+	// Does any failed disk hold one of this stripe's data units?
+	failedData := false
+	for _, f := range a.failed {
+		if lay.DataIndex(st, f) >= 0 {
+			failedData = true
+			break
+		}
+	}
+
+	// Phase 2 (writes) shared by every path below.
+	var phase2 []SubOp
+	for _, e := range g.exts {
+		if a.alive(e.Disk) {
+			phase2 = append(phase2, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: st})
+		}
+		// A write whose unit lives on the failed disk exists only through
+		// parity — no data sub-op.
+	}
+	if pd >= 0 && a.alive(pd) {
+		phase2 = append(phase2, SubOp{Disk: pd, Page: base + lo, Pages: parityPages, Kind: OpParityWrite, Stripe: st})
+		a.stats.ParityPages += int64(parityPages)
+	}
+	if qd >= 0 && a.alive(qd) {
+		phase2 = append(phase2, SubOp{Disk: qd, Page: base + lo, Pages: parityPages, Kind: OpParityWrite, Stripe: st})
+		a.stats.ParityPages += int64(parityPages)
+	}
+
+	runPhase2 := func(t sim.Time) {
+		if len(phase2) == 0 {
+			// Every target (data and parity) is on the failed disk — the
+			// write completes trivially (data is lost only if redundancy is
+			// already gone, which FailDisk prevents).
+			if done != nil {
+				a.eng.At(t, done)
+			}
+			return
+		}
+		cb := barrier(len(phase2), done)
+		for _, op := range phase2 {
+			a.issue(t, op, cb)
+		}
+	}
+
+	// Phase 1 (reads).
+	var phase1 []SubOp
+	switch {
+	case fullStripe:
+		a.stats.FullStripes++
+		// No reads needed: parity is computed from the new data alone.
+	case failedData:
+		// Reconstruct-write: the failed unit's old contents are needed for
+		// parity, so read every surviving data unit in full over [lo,hi).
+		a.stats.ReconstructWr++
+		for idx := 0; idx < lay.DataDisks(); idx++ {
+			d := lay.DataDisk(st, idx)
+			if !a.alive(d) {
+				continue
+			}
+			phase1 = append(phase1, SubOp{Disk: d, Page: base + lo, Pages: parityPages, Kind: OpOldDataRead, Stripe: st})
+		}
+		if pd >= 0 && a.alive(pd) {
+			phase1 = append(phase1, SubOp{Disk: pd, Page: base + lo, Pages: parityPages, Kind: OpParityRead, Stripe: st})
+		}
+		if qd >= 0 && a.alive(qd) {
+			phase1 = append(phase1, SubOp{Disk: qd, Page: base + lo, Pages: parityPages, Kind: OpParityRead, Stripe: st})
+		}
+	case a.gcAvoidWanted(now, g):
+		// GC-aware reconstruct-write: the old-data read of classic RMW
+		// would queue behind garbage collection, so parity is re-encoded
+		// from the stripe's other data units instead — every read lands on
+		// a healthy disk. Units partially covered by the write still need
+		// their uncovered sub-ranges read.
+		a.stats.GCAvoidWrites++
+		covered := make(map[int][2]int, len(g.exts))
+		for _, e := range g.exts {
+			covered[e.DataIdx] = [2]int{e.Page - base, e.Page - base + e.Pages}
+		}
+		for idx := 0; idx < lay.DataDisks(); idx++ {
+			d := lay.DataDisk(st, idx)
+			if !a.alive(d) {
+				continue
+			}
+			c, ok := covered[idx]
+			if !ok {
+				phase1 = append(phase1, SubOp{Disk: d, Page: base + lo, Pages: parityPages, Kind: OpOldDataRead, Stripe: st})
+				continue
+			}
+			if c[0] > lo {
+				phase1 = append(phase1, SubOp{Disk: d, Page: base + lo, Pages: c[0] - lo, Kind: OpOldDataRead, Stripe: st})
+			}
+			if c[1] < hi {
+				phase1 = append(phase1, SubOp{Disk: d, Page: base + c[1], Pages: hi - c[1], Kind: OpOldDataRead, Stripe: st})
+			}
+		}
+	default:
+		// Classic RMW: old data of the written extents + old parity.
+		a.stats.RMWStripes++
+		for _, e := range g.exts {
+			phase1 = append(phase1, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpOldDataRead, Stripe: st})
+		}
+		if pd >= 0 && a.alive(pd) {
+			phase1 = append(phase1, SubOp{Disk: pd, Page: base + lo, Pages: parityPages, Kind: OpParityRead, Stripe: st})
+		}
+		if qd >= 0 && a.alive(qd) {
+			phase1 = append(phase1, SubOp{Disk: qd, Page: base + lo, Pages: parityPages, Kind: OpParityRead, Stripe: st})
+		}
+	}
+
+	if len(phase1) == 0 {
+		runPhase2(now)
+		return
+	}
+	cb := barrier(len(phase1), runPhase2)
+	for _, op := range phase1 {
+		a.issue(now, op, cb)
+	}
+}
+
+// gcAvoidWanted reports whether a partial-stripe write should use the
+// GC-aware reconstruct-write path. It compares how many phase-1 read pages
+// each strategy would send to currently-collecting disks and switches to
+// reconstruct-write only when that strictly reduces the GC exposure.
+func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
+	if !a.GCAwareWrites {
+		return false
+	}
+	if a.lay.Level != RAID5 && a.lay.Level != RAID6 {
+		return false
+	}
+	lay := a.lay
+	st := g.stripe
+	base := lay.UnitPage(st)
+	inGC := func(d int) bool { return a.alive(d) && a.disks[d].InGC(now) }
+
+	lo, hi := lay.UnitPages, 0
+	covered := make(map[int][2]int, len(g.exts))
+	for _, e := range g.exts {
+		off := e.Page - base
+		if off < lo {
+			lo = off
+		}
+		if off+e.Pages > hi {
+			hi = off + e.Pages
+		}
+		covered[e.DataIdx] = [2]int{off, off + e.Pages}
+	}
+
+	// RMW phase 1: old data of written units + parity reads.
+	rmw := 0
+	for _, e := range g.exts {
+		if inGC(e.Disk) {
+			rmw += e.Pages
+		}
+	}
+	if pd := lay.ParityDisk(st); pd >= 0 && inGC(pd) {
+		rmw += hi - lo
+	}
+	if qd := lay.QDisk(st); qd >= 0 && inGC(qd) {
+		rmw += hi - lo
+	}
+
+	// Reconstruct-write phase 1: the other units (and written units'
+	// uncovered sub-ranges), no parity reads.
+	recon := 0
+	for idx := 0; idx < lay.DataDisks(); idx++ {
+		d := lay.DataDisk(st, idx)
+		if !inGC(d) {
+			continue
+		}
+		if c, ok := covered[idx]; ok {
+			recon += (c[0] - lo) + (hi - c[1])
+		} else {
+			recon += hi - lo
+		}
+	}
+	return recon < rmw
+}
+
+func (a *Array) checkRange(page, pages int) {
+	if pages <= 0 || page < 0 || page+pages > a.lay.LogicalPages() {
+		panic(fmt.Sprintf("raid: request [%d,%d) outside array of %d pages",
+			page, page+pages, a.lay.LogicalPages()))
+	}
+}

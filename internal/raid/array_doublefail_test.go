@@ -1,0 +1,124 @@
+package raid
+
+import (
+	"testing"
+
+	"gcsteering/internal/sim"
+)
+
+func raid6FakeLayout() Layout {
+	return Layout{Level: RAID6, Disks: 6, UnitPages: 16, DiskPages: 256}
+}
+
+func TestArrayRAID6SecondFailureAccepted(t *testing.T) {
+	_, a, _ := newFakeArray(t, raid6FakeLayout())
+	if err := a.FailDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.FailedDisks(); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("FailedDisks = %v", got)
+	}
+	if a.Failed() != 1 {
+		t.Fatalf("Failed() = %d, want oldest (1)", a.Failed())
+	}
+	if err := a.FailDisk(2); err == nil {
+		t.Fatal("third failure accepted")
+	}
+}
+
+func TestArrayRAID5StillSingleFailure(t *testing.T) {
+	_, a, _ := newFakeArray(t, raid5Layout())
+	a.FailDisk(0)
+	if err := a.FailDisk(1); err == nil {
+		t.Fatal("RAID5 accepted a second failure")
+	}
+}
+
+func TestArrayDoubleDegradedReadUsesBothParities(t *testing.T) {
+	lay := raid6FakeLayout()
+	eng, a, fakes := newFakeArray(t, lay)
+	// Fail two disks that both hold data units of stripe 0.
+	d0 := lay.DataDisk(0, 0)
+	d1 := lay.DataDisk(0, 1)
+	if err := a.FailDisk(d0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(d1); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	a.Read(0, 0, 1, func(tm sim.Time) { doneAt = tm })
+	eng.Run()
+	if doneAt == 0 {
+		t.Fatal("read never completed")
+	}
+	// Both parity disks must be read (two unknowns need two syndromes),
+	// along with the surviving data units; the failed disks stay untouched.
+	pd, qd := lay.ParityDisk(0), lay.QDisk(0)
+	if len(fakes[pd].reads) != 1 || len(fakes[qd].reads) != 1 {
+		t.Fatalf("parity reads P=%d Q=%d, want 1 each", len(fakes[pd].reads), len(fakes[qd].reads))
+	}
+	if len(fakes[d0].reads)+len(fakes[d1].reads) != 0 {
+		t.Fatal("failed disks were read")
+	}
+	surv := 0
+	for idx := 0; idx < lay.DataDisks(); idx++ {
+		d := lay.DataDisk(0, idx)
+		if d != d0 && d != d1 {
+			surv += len(fakes[d].reads)
+		}
+	}
+	if surv != lay.DataDisks()-2 {
+		t.Fatalf("surviving data reads = %d, want %d", surv, lay.DataDisks()-2)
+	}
+}
+
+func TestArrayDoubleDegradedWriteCompletes(t *testing.T) {
+	lay := raid6FakeLayout()
+	eng, a, fakes := newFakeArray(t, lay)
+	d0 := lay.DataDisk(0, 0)
+	d1 := lay.DataDisk(0, 1)
+	a.FailDisk(d0)
+	a.FailDisk(d1)
+	completions := 0
+	// Write to the unit on the first failed disk: only parity can record it.
+	a.Write(0, 0, 1, func(sim.Time) { completions++ })
+	eng.Run()
+	if completions != 1 {
+		t.Fatalf("done fired %d times", completions)
+	}
+	pd, qd := lay.ParityDisk(0), lay.QDisk(0)
+	if len(fakes[pd].writes) != 1 || len(fakes[qd].writes) != 1 {
+		t.Fatalf("parity writes P=%d Q=%d", len(fakes[pd].writes), len(fakes[qd].writes))
+	}
+	if len(fakes[d0].writes)+len(fakes[d1].writes) != 0 {
+		t.Fatal("failed disks were written")
+	}
+	if a.Stats().ReconstructWr != 1 {
+		t.Fatalf("stats: %+v", a.Stats())
+	}
+}
+
+func TestArraySequentialRepairs(t *testing.T) {
+	lay := raid6FakeLayout()
+	eng, a, _ := newFakeArray(t, lay)
+	a.FailDisk(3)
+	a.FailDisk(0)
+	repl1 := &fakeDisk{eng: eng, pages: lay.DiskPages}
+	if err := a.RepairDisk(repl1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Failed() != 0 {
+		t.Fatalf("after first repair Failed() = %d, want 0", a.Failed())
+	}
+	repl2 := &fakeDisk{eng: eng, pages: lay.DiskPages}
+	if err := a.RepairDisk(repl2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Degraded() {
+		t.Fatal("still degraded after both repairs")
+	}
+}

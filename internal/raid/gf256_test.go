@@ -1,0 +1,152 @@
+package raid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGFTablesConsistent(t *testing.T) {
+	// exp and log must be inverse on nonzero elements.
+	for x := 1; x < 256; x++ {
+		if int(gfExp[gfLog[x]]) != x {
+			t.Fatalf("exp(log(%d)) = %d", x, gfExp[gfLog[x]])
+		}
+	}
+	// The generator must cycle with period 255.
+	seen := make(map[byte]bool)
+	for i := 0; i < 255; i++ {
+		if seen[gfExp[i]] {
+			t.Fatalf("generator cycle shorter than 255 at %d", i)
+		}
+		seen[gfExp[i]] = true
+	}
+}
+
+func TestGFMulProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a, b, c := byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))
+		if gfMul(a, b) != gfMul(b, a) {
+			t.Fatalf("mul not commutative: %d %d", a, b)
+		}
+		if gfMul(a, gfMul(b, c)) != gfMul(gfMul(a, b), c) {
+			t.Fatalf("mul not associative: %d %d %d", a, b, c)
+		}
+		if gfMul(a, b^c) != gfMul(a, b)^gfMul(a, c) {
+			t.Fatalf("mul not distributive over xor: %d %d %d", a, b, c)
+		}
+		if gfMul(a, 1) != a || gfMul(a, 0) != 0 {
+			t.Fatalf("identity/zero broken for %d", a)
+		}
+	}
+}
+
+func TestGFMulMatchesCarrylessReference(t *testing.T) {
+	// Slow bit-by-bit reference multiply modulo the field polynomial.
+	ref := func(a, b byte) byte {
+		var p int
+		x, y := int(a), int(b)
+		for y > 0 {
+			if y&1 != 0 {
+				p ^= x
+			}
+			x <<= 1
+			if x&0x100 != 0 {
+				x ^= gfPoly
+			}
+			y >>= 1
+		}
+		return byte(p)
+	}
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b += 7 {
+			if gfMul(byte(a), byte(b)) != ref(byte(a), byte(b)) {
+				t.Fatalf("gfMul(%d,%d) = %d, ref %d", a, b, gfMul(byte(a), byte(b)), ref(byte(a), byte(b)))
+			}
+		}
+	}
+}
+
+func TestGFDivInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if gfMul(byte(a), inv) != 1 {
+			t.Fatalf("a * inv(a) != 1 for %d", a)
+		}
+		for b := 1; b < 256; b += 11 {
+			q := gfDiv(byte(a), byte(b))
+			if gfMul(q, byte(b)) != byte(a) {
+				t.Fatalf("div broken: %d/%d", a, b)
+			}
+		}
+	}
+	if gfDiv(0, 5) != 0 {
+		t.Fatal("0/x must be 0")
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("division by zero did not panic")
+		}
+	}()
+	gfDiv(3, 0)
+}
+
+func TestGFPow(t *testing.T) {
+	if gfPow(0) != 1 {
+		t.Fatalf("g^0 = %d", gfPow(0))
+	}
+	if gfPow(1) != 2 {
+		t.Fatalf("g^1 = %d", gfPow(1))
+	}
+	if gfPow(255) != 1 {
+		t.Fatalf("g^255 = %d, want 1 (Fermat)", gfPow(255))
+	}
+	if gfPow(-1) != gfPow(254) {
+		t.Fatal("negative exponent not normalized")
+	}
+}
+
+func TestMulSliceAndXorSlice(t *testing.T) {
+	src := []byte{1, 2, 3, 0, 255}
+	dst := make([]byte, 5)
+	mulSlice(dst, src, 1) // c=1 degenerates to xor
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("mulSlice c=1 mismatch at %d", i)
+		}
+	}
+	mulSlice(dst, src, 0) // c=0 is a no-op
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatal("mulSlice c=0 modified dst")
+		}
+	}
+	dst2 := make([]byte, 5)
+	mulSlice(dst2, src, 7)
+	for i := range src {
+		if dst2[i] != gfMul(src[i], 7) {
+			t.Fatalf("mulSlice c=7 mismatch at %d", i)
+		}
+	}
+	xorSlice(dst2, dst2)
+	for _, v := range dst2 {
+		if v != 0 {
+			t.Fatal("x^x != 0")
+		}
+	}
+}
+
+func BenchmarkGFMulSlice(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mulSlice(dst, src, 0x1d)
+	}
+}

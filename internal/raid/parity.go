@@ -1,0 +1,100 @@
+package raid
+
+// Parity codecs operate on the chunks of one stripe: data[i] is the i-th
+// data chunk, all chunks the same length. They implement the math of RAID5
+// (single parity P = xor of the data) and RAID6 (P plus the Reed-Solomon
+// syndrome Q = Σ g^i · data[i] over GF(2^8)), identical to Linux MD.
+
+// EncodeP computes the XOR parity of the data chunks into p.
+func EncodeP(data [][]byte, p []byte) {
+	clear(p)
+	for _, d := range data {
+		xorSlice(p, d)
+	}
+}
+
+// EncodeQ computes the RAID6 Q syndrome of the data chunks into q.
+func EncodeQ(data [][]byte, q []byte) {
+	clear(q)
+	for i, d := range data {
+		mulSlice(q, d, gfPow(i))
+	}
+}
+
+// EncodePQ computes both parities in one pass.
+func EncodePQ(data [][]byte, p, q []byte) {
+	EncodeP(data, p)
+	EncodeQ(data, q)
+}
+
+// UpdateP applies the RAID5 read-modify-write parity delta: given the old
+// and new contents of one data chunk, it updates p in place. This is the
+// "concurrently updates the corresponding parity to its correct position"
+// operation GC-Steering performs when it redirects a write (§III-C).
+func UpdateP(p, oldData, newData []byte) {
+	xorSlice(p, oldData)
+	xorSlice(p, newData)
+}
+
+// UpdateQ applies the RAID6 RMW delta for data chunk index idx.
+func UpdateQ(q, oldData, newData []byte, idx int) {
+	c := gfPow(idx)
+	mulSlice(q, oldData, c)
+	mulSlice(q, newData, c)
+}
+
+// ReconstructDataP recovers the single missing data chunk lost from a
+// RAID5 stripe: missing = p ⊕ (xor of surviving data chunks). data must
+// contain the surviving chunks (any order).
+func ReconstructDataP(surviving [][]byte, p []byte, out []byte) {
+	copy(out, p)
+	for _, d := range surviving {
+		xorSlice(out, d)
+	}
+}
+
+// ReconstructDataQ recovers one missing data chunk (index missingIdx) using
+// the Q syndrome when P is unavailable. surviving maps data index -> chunk
+// for all present chunks.
+func ReconstructDataQ(surviving map[int][]byte, q []byte, missingIdx int, out []byte) {
+	copy(out, q)
+	for i, d := range surviving {
+		mulSlice(out, d, gfPow(i))
+	}
+	// out currently holds g^missingIdx * missing; divide it out.
+	inv := gfInv(gfPow(missingIdx))
+	for i := range out {
+		out[i] = gfMul(out[i], inv)
+	}
+}
+
+// ReconstructTwoData recovers two missing data chunks (indices a < b) of a
+// RAID6 stripe from P, Q and the surviving data chunks.
+//
+// With Pxor = P ⊕ Σ surviving and Qxor = Q ⊕ Σ g^i·surviving:
+//
+//	Da ⊕ Db            = Pxor
+//	g^a·Da ⊕ g^b·Db    = Qxor
+//
+// so Da = (Qxor ⊕ g^b·Pxor) / (g^a ⊕ g^b) and Db = Pxor ⊕ Da.
+func ReconstructTwoData(surviving map[int][]byte, p, q []byte, a, b int, outA, outB []byte) {
+	if a == b {
+		panic("raid: ReconstructTwoData with identical indices")
+	}
+	n := len(p)
+	pxor := make([]byte, n)
+	qxor := make([]byte, n)
+	copy(pxor, p)
+	copy(qxor, q)
+	for i, d := range surviving {
+		xorSlice(pxor, d)
+		mulSlice(qxor, d, gfPow(i))
+	}
+	ga, gb := gfPow(a), gfPow(b)
+	denom := gfInv(ga ^ gb)
+	for i := 0; i < n; i++ {
+		da := gfMul(qxor[i]^gfMul(gb, pxor[i]), denom)
+		outA[i] = da
+		outB[i] = pxor[i] ^ da
+	}
+}

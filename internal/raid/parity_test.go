@@ -1,0 +1,196 @@
+package raid
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func randChunks(rng *rand.Rand, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestEncodePIsXor(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := randChunks(rng, 4, 64)
+	p := make([]byte, 64)
+	EncodeP(data, p)
+	for i := 0; i < 64; i++ {
+		want := data[0][i] ^ data[1][i] ^ data[2][i] ^ data[3][i]
+		if p[i] != want {
+			t.Fatalf("P[%d] = %d, want %d", i, p[i], want)
+		}
+	}
+}
+
+func TestUpdatePMatchesReencode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randChunks(rng, 5, 128)
+	p := make([]byte, 128)
+	EncodeP(data, p)
+	// Overwrite chunk 2 and apply the RMW delta.
+	oldData := append([]byte(nil), data[2]...)
+	rng.Read(data[2])
+	UpdateP(p, oldData, data[2])
+	want := make([]byte, 128)
+	EncodeP(data, want)
+	if !bytes.Equal(p, want) {
+		t.Fatal("UpdateP diverges from full re-encode")
+	}
+}
+
+func TestUpdateQMatchesReencode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := randChunks(rng, 5, 128)
+	q := make([]byte, 128)
+	EncodeQ(data, q)
+	oldData := append([]byte(nil), data[3]...)
+	rng.Read(data[3])
+	UpdateQ(q, oldData, data[3], 3)
+	want := make([]byte, 128)
+	EncodeQ(data, want)
+	if !bytes.Equal(q, want) {
+		t.Fatal("UpdateQ diverges from full re-encode")
+	}
+}
+
+func TestReconstructDataP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := randChunks(rng, 6, 256)
+	p := make([]byte, 256)
+	EncodeP(data, p)
+	for missing := 0; missing < 6; missing++ {
+		var surv [][]byte
+		for i, d := range data {
+			if i != missing {
+				surv = append(surv, d)
+			}
+		}
+		out := make([]byte, 256)
+		ReconstructDataP(surv, p, out)
+		if !bytes.Equal(out, data[missing]) {
+			t.Fatalf("P-reconstruction of chunk %d wrong", missing)
+		}
+	}
+}
+
+func TestReconstructDataQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := randChunks(rng, 6, 256)
+	q := make([]byte, 256)
+	EncodeQ(data, q)
+	for missing := 0; missing < 6; missing++ {
+		surv := make(map[int][]byte)
+		for i, d := range data {
+			if i != missing {
+				surv[i] = d
+			}
+		}
+		out := make([]byte, 256)
+		ReconstructDataQ(surv, q, missing, out)
+		if !bytes.Equal(out, data[missing]) {
+			t.Fatalf("Q-reconstruction of chunk %d wrong", missing)
+		}
+	}
+}
+
+func TestReconstructTwoData(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 6
+	data := randChunks(rng, n, 512)
+	p := make([]byte, 512)
+	q := make([]byte, 512)
+	EncodePQ(data, p, q)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			surv := make(map[int][]byte)
+			for i, d := range data {
+				if i != a && i != b {
+					surv[i] = d
+				}
+			}
+			outA := make([]byte, 512)
+			outB := make([]byte, 512)
+			ReconstructTwoData(surv, p, q, a, b, outA, outB)
+			if !bytes.Equal(outA, data[a]) || !bytes.Equal(outB, data[b]) {
+				t.Fatalf("double reconstruction of (%d,%d) wrong", a, b)
+			}
+		}
+	}
+}
+
+func TestReconstructTwoDataSameIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("identical indices did not panic")
+		}
+	}()
+	ReconstructTwoData(nil, []byte{0}, []byte{0}, 2, 2, []byte{0}, []byte{0})
+}
+
+// Property: encode → corrupt any two data chunks → reconstruct recovers
+// exactly, for random chunk counts and contents.
+func TestQuickRAID6RoundTrip(t *testing.T) {
+	type spec struct {
+		Seed   int64
+		Chunks uint8
+		A, B   uint8
+	}
+	f := func(sp spec) bool {
+		n := int(sp.Chunks%14) + 2 // 2..15 data chunks
+		a := int(sp.A) % n
+		b := int(sp.B) % n
+		if a == b {
+			b = (b + 1) % n
+		}
+		if a > b {
+			a, b = b, a
+		}
+		rng := rand.New(rand.NewSource(sp.Seed))
+		data := randChunks(rng, n, 64)
+		p := make([]byte, 64)
+		q := make([]byte, 64)
+		EncodePQ(data, p, q)
+		surv := make(map[int][]byte)
+		for i, d := range data {
+			if i != a && i != b {
+				surv[i] = d
+			}
+		}
+		outA := make([]byte, 64)
+		outB := make([]byte, 64)
+		ReconstructTwoData(surv, p, q, a, b, outA, outB)
+		return bytes.Equal(outA, data[a]) && bytes.Equal(outB, data[b])
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(spec{
+				Seed: r.Int63(), Chunks: uint8(r.Intn(256)),
+				A: uint8(r.Intn(256)), B: uint8(r.Intn(256)),
+			})
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodePQ(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	data := randChunks(rng, 4, 64*1024)
+	p := make([]byte, 64*1024)
+	q := make([]byte, 64*1024)
+	b.SetBytes(4 * 64 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodePQ(data, p, q)
+	}
+}

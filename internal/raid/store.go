@@ -1,0 +1,407 @@
+package raid
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Store is a byte-accurate, untimed RAID array: it really stores data
+// across per-disk buffers using the Layout's placement and the parity
+// codecs. It exists to prove the layout and codec math end to end — every
+// degraded read and every reconstruction consults only surviving disks —
+// and doubles as the reference model for the simulator's addressing.
+type Store struct {
+	lay      Layout
+	pageSize int
+	disks    [][]byte
+	failed   []int // failed disk ids (RAID6 tolerates two)
+}
+
+// NewStore creates a zero-filled store.
+func NewStore(lay Layout, pageSize int) (*Store, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	if pageSize <= 0 {
+		return nil, fmt.Errorf("raid: page size %d must be positive", pageSize)
+	}
+	s := &Store{lay: lay, pageSize: pageSize}
+	s.disks = make([][]byte, lay.Disks)
+	for d := range s.disks {
+		s.disks[d] = make([]byte, lay.DiskPages*pageSize)
+	}
+	return s, nil
+}
+
+// Layout returns the store's layout.
+func (s *Store) Layout() Layout { return s.lay }
+
+// Failed returns the failed disk ids (empty when healthy).
+func (s *Store) Failed() []int { return append([]int(nil), s.failed...) }
+
+// maxFailures is the fault tolerance of the layout.
+func (s *Store) maxFailures() int {
+	switch s.lay.Level {
+	case RAID6:
+		return 2
+	case RAID1:
+		return s.lay.Disks - 1
+	case RAID5:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// FailDisk simulates the total loss of disk d (controller failure, per the
+// Samsung report cited in §II-B): its contents become unreadable. RAID6
+// tolerates a second failure (§III-D's second-failure scenario); RAID1
+// tolerates the loss of all but one mirror.
+func (s *Store) FailDisk(d int) error {
+	if d < 0 || d >= s.lay.Disks {
+		return fmt.Errorf("raid: no disk %d", d)
+	}
+	if !s.alive(d) {
+		return fmt.Errorf("raid: disk %d already failed", d)
+	}
+	if len(s.failed) >= s.maxFailures() {
+		return fmt.Errorf("raid: %v cannot survive %d failures", s.lay.Level, len(s.failed)+1)
+	}
+	s.failed = append(s.failed, d)
+	for i := range s.disks[d] {
+		s.disks[d][i] = 0xDE // poison so accidental reads are caught
+	}
+	return nil
+}
+
+func (s *Store) alive(d int) bool {
+	for _, f := range s.failed {
+		if f == d {
+			return false
+		}
+	}
+	return true
+}
+
+// unit returns the byte slice of stripe st's unit on disk d.
+func (s *Store) unit(d, st int) []byte {
+	off := st * s.lay.UnitPages * s.pageSize
+	return s.disks[d][off : off+s.lay.UnitPages*s.pageSize]
+}
+
+// dataUnits materializes all data units of stripe st, reconstructing any
+// units lost to failed disks from parity and survivors (up to two for
+// RAID6). The returned slices alias disk storage for surviving units;
+// reconstructed units are fresh buffers.
+func (s *Store) dataUnits(st int) ([][]byte, error) {
+	nd := s.lay.DataDisks()
+	units := make([][]byte, nd)
+	var missing []int
+	for idx := 0; idx < nd; idx++ {
+		d := s.lay.DataDisk(st, idx)
+		if s.alive(d) {
+			units[idx] = s.unit(d, st)
+		} else {
+			missing = append(missing, idx)
+		}
+	}
+	switch len(missing) {
+	case 0:
+		return units, nil
+	case 1:
+		out := make([]byte, s.lay.UnitPages*s.pageSize)
+		if err := s.reconstructDataUnit(st, missing[0], units, out); err != nil {
+			return nil, err
+		}
+		units[missing[0]] = out
+		return units, nil
+	case 2:
+		if s.lay.Level != RAID6 {
+			return nil, fmt.Errorf("raid: %v stripe %d lost two data units", s.lay.Level, st)
+		}
+		pd, qd := s.lay.ParityDisk(st), s.lay.QDisk(st)
+		if !s.alive(pd) || !s.alive(qd) {
+			return nil, fmt.Errorf("raid: stripe %d lost two data units and a parity", st)
+		}
+		surv := make(map[int][]byte)
+		for i, u := range units {
+			if u != nil {
+				surv[i] = u
+			}
+		}
+		n := s.lay.UnitPages * s.pageSize
+		outA := make([]byte, n)
+		outB := make([]byte, n)
+		ReconstructTwoData(surv, s.unit(pd, st), s.unit(qd, st), missing[0], missing[1], outA, outB)
+		units[missing[0]] = outA
+		units[missing[1]] = outB
+		return units, nil
+	default:
+		return nil, fmt.Errorf("raid: stripe %d lost %d data units", st, len(missing))
+	}
+}
+
+// reconstructDataUnit recovers data unit missing of stripe st into out,
+// using P when available, else Q (RAID6). units holds the surviving data
+// units (nil at the missing index).
+func (s *Store) reconstructDataUnit(st, missing int, units [][]byte, out []byte) error {
+	switch s.lay.Level {
+	case RAID1:
+		for d := 0; d < s.lay.Disks; d++ {
+			if s.alive(d) {
+				copy(out, s.unit(d, st))
+				return nil
+			}
+		}
+		return fmt.Errorf("raid: no surviving mirror")
+	case RAID5, RAID6:
+		pd := s.lay.ParityDisk(st)
+		if s.alive(pd) {
+			var surv [][]byte
+			for i, u := range units {
+				if i != missing && u != nil {
+					surv = append(surv, u)
+				}
+			}
+			ReconstructDataP(surv, s.unit(pd, st), out)
+			return nil
+		}
+		if s.lay.Level == RAID6 {
+			qd := s.lay.QDisk(st)
+			if !s.alive(qd) {
+				return fmt.Errorf("raid: stripe %d lost both parities and a data unit", st)
+			}
+			survMap := make(map[int][]byte)
+			for i, u := range units {
+				if i != missing && u != nil {
+					survMap[i] = u
+				}
+			}
+			ReconstructDataQ(survMap, s.unit(qd, st), missing, out)
+			return nil
+		}
+		return fmt.Errorf("raid: stripe %d unrecoverable", st)
+	default:
+		return fmt.Errorf("raid: %v cannot reconstruct", s.lay.Level)
+	}
+}
+
+// writeParity recomputes and stores P (and Q) for stripe st from the full
+// data unit set. Parity on the failed disk is skipped.
+func (s *Store) writeParity(st int, units [][]byte) {
+	switch s.lay.Level {
+	case RAID5:
+		if pd := s.lay.ParityDisk(st); s.alive(pd) {
+			EncodeP(units, s.unit(pd, st))
+		}
+	case RAID6:
+		if pd := s.lay.ParityDisk(st); s.alive(pd) {
+			EncodeP(units, s.unit(pd, st))
+		}
+		if qd := s.lay.QDisk(st); s.alive(qd) {
+			EncodeQ(units, s.unit(qd, st))
+		}
+	}
+}
+
+// Write stores data (len must be a multiple of the page size) at logical
+// array page `page`. Degraded writes use reconstruct-write: the lost unit's
+// old contents are recovered from survivors before parity is recomputed, so
+// redundancy stays correct without ever reading the failed disk.
+func (s *Store) Write(page int, data []byte) error {
+	if len(data) == 0 || len(data)%s.pageSize != 0 {
+		return fmt.Errorf("raid: write length %d not a positive page multiple", len(data))
+	}
+	pages := len(data) / s.pageSize
+	if page < 0 || page+pages > s.lay.LogicalPages() {
+		return fmt.Errorf("raid: write [%d,%d) outside array", page, page+pages)
+	}
+	exts := s.lay.SplitExtent(page, pages)
+	off := 0
+	switch s.lay.Level {
+	case RAID0:
+		for _, e := range exts {
+			n := e.Pages * s.pageSize
+			if s.alive(e.Disk) {
+				copy(s.disks[e.Disk][e.Page*s.pageSize:], data[off:off+n])
+			}
+			off += n
+		}
+	case RAID1:
+		for _, e := range exts {
+			n := e.Pages * s.pageSize
+			for d := 0; d < s.lay.Disks; d++ {
+				if s.alive(d) {
+					copy(s.disks[d][e.Page*s.pageSize:], data[off:off+n])
+				}
+			}
+			off += n
+		}
+	case RAID5, RAID6:
+		// Group extents by stripe, materialize full data units (recovering
+		// any lost unit first), overlay the new bytes, then write back data
+		// and freshly encoded parity.
+		i := 0
+		for i < len(exts) {
+			j := i
+			for j < len(exts) && exts[j].Stripe == exts[i].Stripe {
+				j++
+			}
+			st := exts[i].Stripe
+			units, err := s.dataUnits(st)
+			if err != nil {
+				return err
+			}
+			for _, e := range exts[i:j] {
+				n := e.Pages * s.pageSize
+				uOff := (e.Page - s.lay.UnitPage(st)) * s.pageSize
+				copy(units[e.DataIdx][uOff:uOff+n], data[off:off+n])
+				off += n
+			}
+			// Persist data units that live on surviving disks. The unit
+			// slices alias disk storage for surviving disks, so the overlay
+			// already stored them; only parity needs encoding.
+			s.writeParity(st, units)
+			i = j
+		}
+	}
+	return nil
+}
+
+// Read returns pages logical pages starting at page, reconstructing any
+// portion lost to a failed disk (except on RAID0, which has no redundancy).
+func (s *Store) Read(page, pages int) ([]byte, error) {
+	if pages <= 0 || page < 0 || page+pages > s.lay.LogicalPages() {
+		return nil, fmt.Errorf("raid: read [%d,%d) invalid", page, page+pages)
+	}
+	out := make([]byte, pages*s.pageSize)
+	off := 0
+	for _, e := range s.lay.SplitExtent(page, pages) {
+		n := e.Pages * s.pageSize
+		if s.alive(e.Disk) {
+			copy(out[off:], s.disks[e.Disk][e.Page*s.pageSize:e.Page*s.pageSize+n])
+		} else {
+			switch s.lay.Level {
+			case RAID0:
+				return nil, fmt.Errorf("raid: RAID0 data on failed disk %d is lost", e.Disk)
+			default:
+				units, err := s.dataUnits(e.Stripe)
+				if err != nil {
+					return nil, err
+				}
+				uOff := (e.Page - s.lay.UnitPage(e.Stripe)) * s.pageSize
+				copy(out[off:off+n], units[e.DataIdx][uOff:])
+			}
+		}
+		off += n
+	}
+	return out, nil
+}
+
+// Reconstruct rebuilds every failed disk's full contents (data and parity
+// units) from the survivors onto replacements, returning the array to the
+// healthy state. With two failures (RAID6) the disks are rebuilt one at a
+// time, mirroring §III-D's second-failure procedure.
+func (s *Store) Reconstruct() error {
+	if len(s.failed) == 0 {
+		return fmt.Errorf("raid: no failed disk")
+	}
+	if s.lay.Level == RAID0 {
+		return fmt.Errorf("raid: RAID0 cannot reconstruct")
+	}
+	for len(s.failed) > 0 {
+		if err := s.reconstructOne(s.failed[0]); err != nil {
+			return err
+		}
+		s.failed = s.failed[1:]
+	}
+	return nil
+}
+
+// reconstructOne rebuilds disk d while it is still marked failed.
+func (s *Store) reconstructOne(d int) error {
+	repl := make([]byte, s.lay.DiskPages*s.pageSize)
+	for st := 0; st < s.lay.Stripes(); st++ {
+		dst := repl[st*s.lay.UnitPages*s.pageSize : (st+1)*s.lay.UnitPages*s.pageSize]
+		switch {
+		case s.lay.Level == RAID1:
+			src := -1
+			for m := 0; m < s.lay.Disks; m++ {
+				if s.alive(m) {
+					src = m
+					break
+				}
+			}
+			if src < 0 {
+				return fmt.Errorf("raid: no surviving mirror")
+			}
+			copy(dst, s.unit(src, st))
+		case d == s.lay.ParityDisk(st):
+			units, err := s.dataUnits(st)
+			if err != nil {
+				return err
+			}
+			EncodeP(units, dst)
+		case s.lay.Level == RAID6 && d == s.lay.QDisk(st):
+			units, err := s.dataUnits(st)
+			if err != nil {
+				return err
+			}
+			EncodeQ(units, dst)
+		default:
+			idx := s.lay.DataIndex(st, d)
+			if idx < 0 {
+				return fmt.Errorf("raid: disk %d has no role in stripe %d", d, st)
+			}
+			units, err := s.dataUnits(st)
+			if err != nil {
+				return err
+			}
+			copy(dst, units[idx])
+		}
+	}
+	s.disks[d] = repl
+	return nil
+}
+
+// CheckParity verifies every stripe's parity on a healthy array.
+func (s *Store) CheckParity() error {
+	if len(s.failed) > 0 {
+		return fmt.Errorf("raid: cannot check parity while degraded")
+	}
+	if s.lay.Level == RAID0 || s.lay.Level == RAID1 {
+		return s.checkMirrors()
+	}
+	n := s.lay.UnitPages * s.pageSize
+	p := make([]byte, n)
+	q := make([]byte, n)
+	for st := 0; st < s.lay.Stripes(); st++ {
+		units, err := s.dataUnits(st)
+		if err != nil {
+			return err
+		}
+		EncodeP(units, p)
+		if !bytes.Equal(p, s.unit(s.lay.ParityDisk(st), st)) {
+			return fmt.Errorf("raid: stripe %d P mismatch", st)
+		}
+		if s.lay.Level == RAID6 {
+			EncodeQ(units, q)
+			if !bytes.Equal(q, s.unit(s.lay.QDisk(st), st)) {
+				return fmt.Errorf("raid: stripe %d Q mismatch", st)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) checkMirrors() error {
+	if s.lay.Level != RAID1 {
+		return nil
+	}
+	for d := 1; d < s.lay.Disks; d++ {
+		if !bytes.Equal(s.disks[0], s.disks[d]) {
+			return fmt.Errorf("raid: mirror %d diverges from primary", d)
+		}
+	}
+	return nil
+}

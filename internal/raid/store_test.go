@@ -1,0 +1,271 @@
+package raid
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+const testPageSize = 64 // small pages keep the byte model fast
+
+func newStore(t *testing.T, l Layout) *Store {
+	t.Helper()
+	s, err := NewStore(l, testPageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fillRandom(t *testing.T, s *Store, rng *rand.Rand) []byte {
+	t.Helper()
+	shadow := make([]byte, s.Layout().LogicalPages()*testPageSize)
+	rng.Read(shadow)
+	if err := s.Write(0, shadow); err != nil {
+		t.Fatal(err)
+	}
+	return shadow
+}
+
+func TestStoreWriteReadRoundTrip(t *testing.T) {
+	for _, l := range layouts() {
+		s := newStore(t, l)
+		rng := rand.New(rand.NewSource(10))
+		shadow := fillRandom(t, s, rng)
+		got, err := s.Read(0, l.LogicalPages())
+		if err != nil {
+			t.Fatalf("%v: %v", l.Level, err)
+		}
+		if !bytes.Equal(got, shadow) {
+			t.Fatalf("%v: full read mismatch", l.Level)
+		}
+		if err := s.CheckParity(); err != nil {
+			t.Fatalf("%v: %v", l.Level, err)
+		}
+	}
+}
+
+func TestStoreRandomOverwrites(t *testing.T) {
+	for _, l := range layouts() {
+		s := newStore(t, l)
+		rng := rand.New(rand.NewSource(11))
+		shadow := fillRandom(t, s, rng)
+		for i := 0; i < 200; i++ {
+			page := rng.Intn(l.LogicalPages())
+			pages := 1 + rng.Intn(min(l.LogicalPages()-page, 3*l.UnitPages))
+			buf := make([]byte, pages*testPageSize)
+			rng.Read(buf)
+			if err := s.Write(page, buf); err != nil {
+				t.Fatalf("%v: %v", l.Level, err)
+			}
+			copy(shadow[page*testPageSize:], buf)
+		}
+		got, err := s.Read(0, l.LogicalPages())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, shadow) {
+			t.Fatalf("%v: mismatch after overwrites", l.Level)
+		}
+		if err := s.CheckParity(); err != nil {
+			t.Fatalf("%v: %v", l.Level, err)
+		}
+	}
+}
+
+func TestDegradedReadsRecoverData(t *testing.T) {
+	for _, l := range layouts() {
+		if l.Level == RAID0 {
+			continue
+		}
+		for fail := 0; fail < l.Disks; fail++ {
+			s := newStore(t, l)
+			rng := rand.New(rand.NewSource(int64(12 + fail)))
+			shadow := fillRandom(t, s, rng)
+			if err := s.FailDisk(fail); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Read(0, l.LogicalPages())
+			if err != nil {
+				t.Fatalf("%v fail=%d: %v", l.Level, fail, err)
+			}
+			if !bytes.Equal(got, shadow) {
+				t.Fatalf("%v fail=%d: degraded read mismatch", l.Level, fail)
+			}
+		}
+	}
+}
+
+func TestRAID0CannotFail(t *testing.T) {
+	l := layouts()[0]
+	s := newStore(t, l)
+	fillRandom(t, s, rand.New(rand.NewSource(13)))
+	// RAID0 has zero fault tolerance, so the store refuses the failure
+	// outright rather than silently losing data.
+	if err := s.FailDisk(1); err == nil {
+		t.Fatal("RAID0 FailDisk should be rejected")
+	}
+	if err := s.Reconstruct(); err == nil {
+		t.Fatal("RAID0 reconstruct should fail")
+	}
+}
+
+func TestDegradedWritesThenReconstruct(t *testing.T) {
+	for _, l := range layouts() {
+		if l.Level == RAID0 {
+			continue
+		}
+		for fail := 0; fail < l.Disks; fail++ {
+			s := newStore(t, l)
+			rng := rand.New(rand.NewSource(int64(100 + fail)))
+			shadow := fillRandom(t, s, rng)
+			if err := s.FailDisk(fail); err != nil {
+				t.Fatal(err)
+			}
+			// Degraded writes, including writes whose data unit lives on the
+			// failed disk (their content survives only via parity).
+			for i := 0; i < 100; i++ {
+				page := rng.Intn(l.LogicalPages())
+				pages := 1 + rng.Intn(min(l.LogicalPages()-page, 2*l.UnitPages))
+				buf := make([]byte, pages*testPageSize)
+				rng.Read(buf)
+				if err := s.Write(page, buf); err != nil {
+					t.Fatalf("%v fail=%d: %v", l.Level, fail, err)
+				}
+				copy(shadow[page*testPageSize:], buf)
+			}
+			// Degraded reads see the new data.
+			got, err := s.Read(0, l.LogicalPages())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow) {
+				t.Fatalf("%v fail=%d: degraded read after degraded writes mismatch", l.Level, fail)
+			}
+			// Reconstruction restores full redundancy and content.
+			if err := s.Reconstruct(); err != nil {
+				t.Fatalf("%v fail=%d: %v", l.Level, fail, err)
+			}
+			if err := s.CheckParity(); err != nil {
+				t.Fatalf("%v fail=%d after rebuild: %v", l.Level, fail, err)
+			}
+			got, err = s.Read(0, l.LogicalPages())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, shadow) {
+				t.Fatalf("%v fail=%d: content changed by reconstruction", l.Level, fail)
+			}
+		}
+	}
+}
+
+func TestDoubleFailureRejected(t *testing.T) {
+	s := newStore(t, layouts()[2])
+	s.FailDisk(0)
+	if err := s.FailDisk(1); err == nil {
+		t.Fatal("second failure accepted")
+	}
+}
+
+func TestReconstructWithoutFailure(t *testing.T) {
+	s := newStore(t, layouts()[2])
+	if err := s.Reconstruct(); err == nil {
+		t.Fatal("Reconstruct on healthy array should error")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	s := newStore(t, layouts()[2])
+	if err := s.Write(0, make([]byte, testPageSize-1)); err == nil {
+		t.Fatal("non-page-multiple write accepted")
+	}
+	if err := s.Write(-1, make([]byte, testPageSize)); err == nil {
+		t.Fatal("negative page accepted")
+	}
+	if err := s.Write(s.Layout().LogicalPages(), make([]byte, testPageSize)); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if _, err := s.Read(0, 0); err == nil {
+		t.Fatal("zero-length read accepted")
+	}
+}
+
+// Property: for random layouts and op sequences with a failure injected at
+// a random point, reads always equal the shadow and reconstruction restores
+// parity. This is the master correctness property of the RAID substrate.
+func TestQuickStoreFaultRoundTrip(t *testing.T) {
+	type spec struct {
+		Seed    int64
+		Variant uint8
+		FailAt  uint8
+		Disk    uint8
+	}
+	ls := layouts()
+	f := func(sp spec) bool {
+		l := ls[int(sp.Variant)%len(ls)]
+		if l.Level == RAID0 {
+			l = ls[2]
+		}
+		s, err := NewStore(l, testPageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(sp.Seed))
+		shadow := make([]byte, l.LogicalPages()*testPageSize)
+		rng.Read(shadow)
+		if err := s.Write(0, shadow); err != nil {
+			t.Fatal(err)
+		}
+		failAt := int(sp.FailAt) % 60
+		failDisk := int(sp.Disk) % l.Disks
+		for i := 0; i < 60; i++ {
+			if i == failAt {
+				if err := s.FailDisk(failDisk); err != nil {
+					t.Fatal(err)
+				}
+			}
+			page := rng.Intn(l.LogicalPages())
+			pages := 1 + rng.Intn(min(l.LogicalPages()-page, 2*l.UnitPages))
+			buf := make([]byte, pages*testPageSize)
+			rng.Read(buf)
+			if err := s.Write(page, buf); err != nil {
+				t.Fatal(err)
+			}
+			copy(shadow[page*testPageSize:], buf)
+		}
+		got, err := s.Read(0, l.LogicalPages())
+		if err != nil || !bytes.Equal(got, shadow) {
+			return false
+		}
+		if err := s.Reconstruct(); err != nil {
+			return false
+		}
+		if err := s.CheckParity(); err != nil {
+			return false
+		}
+		got, err = s.Read(0, l.LogicalPages())
+		return err == nil && bytes.Equal(got, shadow)
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(spec{
+				Seed: r.Int63(), Variant: uint8(r.Intn(256)),
+				FailAt: uint8(r.Intn(256)), Disk: uint8(r.Intn(256)),
+			})
+		},
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,222 @@
+// Package rebuild implements RAID failure recovery for the simulator: the
+// stripe-sequential reconstruction process of Linux MD (bandwidth-capped,
+// favouring the rebuild as the paper observed), with the two replacement
+// targets of the paper's §III-D — a newly added spare SSD, or the reserved
+// space of the surviving members written in parallel (GC-Steering's
+// parallel reconstruction workflow).
+package rebuild
+
+import (
+	"fmt"
+
+	"gcsteering/internal/raid"
+	"gcsteering/internal/sim"
+)
+
+// Sink receives the rebuilt units of the failed disk.
+type Sink interface {
+	// Name identifies the target ("Spare" or "Reserved").
+	Name() string
+	// WriteUnit stores pages rebuilt pages whose home is the failed disk's
+	// range [page, page+pages).
+	WriteUnit(now sim.Time, page, pages int, done func(now sim.Time))
+}
+
+// SpareSink writes rebuilt units to a dedicated replacement SSD at their
+// home offsets — the traditional workflow, whose write bandwidth bottleneck
+// on the single replacement the paper calls out (§II-B).
+type SpareSink struct {
+	Disk raid.Disk
+}
+
+// Name implements Sink.
+func (s *SpareSink) Name() string { return "Spare" }
+
+// WriteUnit implements Sink.
+func (s *SpareSink) WriteUnit(now sim.Time, page, pages int, done func(sim.Time)) {
+	s.Disk.Write(now, page, pages, done)
+}
+
+// ReservedSink spreads rebuilt units round-robin across the reserved space
+// of the surviving members, so reconstruction writes proceed in parallel on
+// every survivor instead of serializing on one replacement (§III-D's
+// parallel reconstruction workflow).
+type ReservedSink struct {
+	survivors []raid.Disk
+	base      int // first reserved page on each survivor
+	cursor    []int
+	capacity  int // reserved pages per survivor
+	next      int
+}
+
+// NewReservedSink builds a sink over the survivors' reserved regions
+// ([base, base+capacity) on each).
+func NewReservedSink(survivors []raid.Disk, base, capacity int) (*ReservedSink, error) {
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("rebuild: no survivors")
+	}
+	for i, d := range survivors {
+		if d.LogicalPages() < base+capacity {
+			return nil, fmt.Errorf("rebuild: survivor %d lacks reserved space", i)
+		}
+	}
+	return &ReservedSink{
+		survivors: survivors,
+		base:      base,
+		cursor:    make([]int, len(survivors)),
+		capacity:  capacity,
+	}, nil
+}
+
+// Name implements Sink.
+func (s *ReservedSink) Name() string { return "Reserved" }
+
+// WriteUnit implements Sink.
+func (s *ReservedSink) WriteUnit(now sim.Time, page, pages int, done func(sim.Time)) {
+	// Pick the next survivor with room; wrap the cursor when the region
+	// fills (older rebuilt data would be migrated off to a real spare in a
+	// full system; for the simulation the region is sized to fit).
+	for i := 0; i < len(s.survivors); i++ {
+		d := s.next
+		s.next = (s.next + 1) % len(s.survivors)
+		if s.cursor[d]+pages <= s.capacity {
+			off := s.base + s.cursor[d]
+			s.cursor[d] += pages
+			s.survivors[d].Write(now, off, pages, done)
+			return
+		}
+	}
+	// All regions full: wrap around (overwrite the oldest rebuilt data).
+	d := s.next
+	s.next = (s.next + 1) % len(s.survivors)
+	s.cursor[d] = pages
+	s.survivors[d].Write(now, s.base, pages, done)
+}
+
+// Stats describes a reconstruction run.
+type Stats struct {
+	UnitsRebuilt int64
+	PagesRead    int64
+	PagesWritten int64
+	StartedAt    sim.Time
+	FinishedAt   sim.Time
+}
+
+// Rebuilder drives the reconstruction of one failed disk.
+type Rebuilder struct {
+	eng  *sim.Engine
+	arr  *raid.Array
+	sink Sink
+	// interval is the pacing gap between unit rebuilds enforcing the
+	// bandwidth cap.
+	interval sim.Time
+
+	failed  int
+	stripes int
+	nextSt  int
+	running bool
+	stats   Stats
+
+	// OnComplete, when non-nil, fires once after the last unit is written.
+	OnComplete func(now sim.Time)
+}
+
+// New prepares a rebuild of the array's failed disk into sink at the given
+// bandwidth cap in MB/s (the paper's MD configuration caps at 10 MB/s and
+// always runs at the cap).
+func New(eng *sim.Engine, arr *raid.Array, sink Sink, bandwidthMBps float64, pageSize int) (*Rebuilder, error) {
+	if !arr.Degraded() {
+		return nil, fmt.Errorf("rebuild: array is not degraded")
+	}
+	if bandwidthMBps <= 0 {
+		return nil, fmt.Errorf("rebuild: bandwidth %v must be positive", bandwidthMBps)
+	}
+	lay := arr.Layout()
+	unitBytes := float64(lay.UnitPages * pageSize)
+	interval := sim.Time(unitBytes / (bandwidthMBps * 1e6) * float64(sim.Second))
+	return &Rebuilder{
+		eng:      eng,
+		arr:      arr,
+		sink:     sink,
+		interval: interval,
+		failed:   arr.Failed(),
+		stripes:  lay.Stripes(),
+	}, nil
+}
+
+// Stats returns a snapshot of the run statistics.
+func (r *Rebuilder) Stats() Stats { return r.stats }
+
+// Progress returns the fraction of stripes rebuilt.
+func (r *Rebuilder) Progress() float64 {
+	if r.stripes == 0 {
+		return 1
+	}
+	return float64(r.nextSt) / float64(r.stripes)
+}
+
+// Running reports whether the rebuild is in flight.
+func (r *Rebuilder) Running() bool { return r.running }
+
+// Start begins the stripe-sequential rebuild.
+func (r *Rebuilder) Start(now sim.Time) {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.stats.StartedAt = now
+	r.rebuildUnit(now)
+}
+
+// rebuildUnit reconstructs the failed disk's unit of stripe r.nextSt: it
+// reads the stripe's units from every survivor (directly — rebuild I/O is
+// never steered), then writes the regenerated unit to the sink, then
+// schedules the next unit no earlier than the pacing interval allows.
+func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
+	if r.nextSt >= r.stripes {
+		r.running = false
+		r.stats.FinishedAt = startAt
+		if r.OnComplete != nil {
+			r.OnComplete(startAt)
+		}
+		return
+	}
+	lay := r.arr.Layout()
+	st := r.nextSt
+	r.nextSt++
+	base := lay.UnitPage(st)
+	disks := r.arr.Disks()
+
+	// Read the stripe's unit from every surviving member.
+	nReads := 0
+	for d := 0; d < lay.Disks; d++ {
+		if d != r.failed {
+			nReads++
+		}
+	}
+	remain := nReads
+	earliestNext := startAt + r.interval
+	onRead := func(t sim.Time) {
+		remain--
+		if remain > 0 {
+			return
+		}
+		// All survivor reads done: write the regenerated unit.
+		r.sink.WriteUnit(t, base, lay.UnitPages, func(wt sim.Time) {
+			r.stats.UnitsRebuilt++
+			r.stats.PagesWritten += int64(lay.UnitPages)
+			next := wt
+			if earliestNext > next {
+				next = earliestNext
+			}
+			r.eng.At(next, func(nt sim.Time) { r.rebuildUnit(nt) })
+		})
+	}
+	for d := 0; d < lay.Disks; d++ {
+		if d == r.failed {
+			continue
+		}
+		r.stats.PagesRead += int64(lay.UnitPages)
+		disks[d].Read(startAt, base, lay.UnitPages, onRead)
+	}
+}

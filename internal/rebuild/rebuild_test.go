@@ -1,0 +1,223 @@
+package rebuild
+
+import (
+	"testing"
+
+	"gcsteering/internal/raid"
+	"gcsteering/internal/sim"
+)
+
+// fakeDisk completes ops after fixed latencies and logs page traffic.
+type fakeDisk struct {
+	eng      *sim.Engine
+	pages    int
+	readLat  sim.Time
+	writeLat sim.Time
+	reads    int
+	writes   int
+	lastW    int
+}
+
+func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+	f.reads += pages
+	if done != nil {
+		f.eng.At(now+f.readLat, done)
+	}
+}
+
+func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+	f.writes += pages
+	f.lastW = page
+	if done != nil {
+		f.eng.At(now+f.writeLat, done)
+	}
+}
+
+func (f *fakeDisk) LogicalPages() int  { return f.pages }
+func (f *fakeDisk) InGC(sim.Time) bool { return false }
+
+func fixture(t *testing.T) (*sim.Engine, *raid.Array, []*fakeDisk) {
+	t.Helper()
+	eng := sim.NewEngine()
+	lay := raid.Layout{Level: raid.RAID5, Disks: 5, UnitPages: 16, DiskPages: 160}
+	fakes := make([]*fakeDisk, 5)
+	disks := make([]raid.Disk, 5)
+	for i := range fakes {
+		fakes[i] = &fakeDisk{eng: eng, pages: 220, readLat: 50 * sim.Microsecond, writeLat: 500 * sim.Microsecond}
+		disks[i] = fakes[i]
+	}
+	arr, err := raid.NewArray(eng, lay, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, arr, fakes
+}
+
+func TestNewRequiresDegradedArray(t *testing.T) {
+	eng, arr, fakes := fixture(t)
+	spare := &SpareSink{Disk: fakes[0]}
+	if _, err := New(eng, arr, spare, 10, 4096); err == nil {
+		t.Fatal("healthy array accepted")
+	}
+	arr.FailDisk(2)
+	if _, err := New(eng, arr, spare, 0, 4096); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := New(eng, arr, spare, 10, 4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpareRebuildCompletes(t *testing.T) {
+	eng, arr, fakes := fixture(t)
+	arr.FailDisk(2)
+	spare := &fakeDisk{eng: eng, pages: 220, writeLat: 500 * sim.Microsecond}
+	rb, err := New(eng, arr, &SpareSink{Disk: spare}, 10, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completedAt sim.Time
+	rb.OnComplete = func(now sim.Time) { completedAt = now }
+	rb.Start(0)
+	if !rb.Running() {
+		t.Fatal("not running after Start")
+	}
+	eng.Run()
+	if rb.Running() {
+		t.Fatal("still running after drain")
+	}
+	if rb.Progress() != 1 {
+		t.Fatalf("progress %v", rb.Progress())
+	}
+	lay := arr.Layout()
+	if spare.writes != lay.DiskPages {
+		t.Fatalf("spare got %d pages, want %d", spare.writes, lay.DiskPages)
+	}
+	// Every survivor is read in full; the failed disk is never touched.
+	for d, f := range fakes {
+		if d == 2 {
+			if f.reads != 0 {
+				t.Fatal("failed disk was read")
+			}
+			continue
+		}
+		if f.reads != lay.DiskPages {
+			t.Fatalf("survivor %d read %d pages, want %d", d, f.reads, lay.DiskPages)
+		}
+	}
+	st := rb.Stats()
+	if st.UnitsRebuilt != int64(lay.Stripes()) {
+		t.Fatalf("units rebuilt %d, want %d", st.UnitsRebuilt, lay.Stripes())
+	}
+	if completedAt == 0 || st.FinishedAt != completedAt {
+		t.Fatal("completion accounting wrong")
+	}
+}
+
+func TestBandwidthCapPacesRebuild(t *testing.T) {
+	eng, arr, _ := fixture(t)
+	arr.FailDisk(0)
+	spare := &fakeDisk{eng: eng, pages: 220}
+	rb, err := New(eng, arr, &SpareSink{Disk: spare}, 10, 4096) // 10 MB/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.Start(0)
+	eng.Run()
+	lay := arr.Layout()
+	totalBytes := float64(lay.DiskPages * 4096)
+	minDuration := sim.Time(totalBytes / 10e6 * float64(sim.Second))
+	got := rb.Stats().FinishedAt - rb.Stats().StartedAt
+	if got < minDuration*9/10 {
+		t.Fatalf("rebuild took %v, cap demands >= %v", got, minDuration)
+	}
+	// And it should not be vastly slower than the cap when disks are fast.
+	if got > minDuration*2 {
+		t.Fatalf("rebuild took %v, expected near the cap %v", got, minDuration)
+	}
+}
+
+func TestReservedSinkSpreadsAcrossSurvivors(t *testing.T) {
+	eng, arr, fakes := fixture(t)
+	arr.FailDisk(1)
+	var survivors []raid.Disk
+	var survFakes []*fakeDisk
+	for d, f := range fakes {
+		if d != 1 {
+			survivors = append(survivors, f)
+			survFakes = append(survFakes, f)
+		}
+	}
+	sink, err := NewReservedSink(survivors, 160, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.Name() != "Reserved" {
+		t.Fatal("name")
+	}
+	rb, err := New(eng, arr, sink, 10, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb.Start(0)
+	eng.Run()
+	// Rebuilt writes must hit every survivor's reserved region (>= 160),
+	// roughly evenly. Note each survivor also served rebuild reads.
+	lay := arr.Layout()
+	wrote := 0
+	for i, f := range survFakes {
+		// reads hit the data region; writes only the reserved region
+		if f.writes == 0 {
+			t.Fatalf("survivor %d received no rebuilt units", i)
+		}
+		if f.lastW < 160 {
+			t.Fatalf("survivor %d rebuilt write at %d, below reserved base", i, f.lastW)
+		}
+		wrote += f.writes
+	}
+	if wrote != lay.DiskPages {
+		t.Fatalf("total rebuilt pages %d, want %d", wrote, lay.DiskPages)
+	}
+}
+
+func TestReservedSinkValidation(t *testing.T) {
+	if _, err := NewReservedSink(nil, 0, 10); err == nil {
+		t.Fatal("empty survivors accepted")
+	}
+	eng := sim.NewEngine()
+	d := &fakeDisk{eng: eng, pages: 100}
+	if _, err := NewReservedSink([]raid.Disk{d}, 90, 20); err == nil {
+		t.Fatal("insufficient reserved space accepted")
+	}
+}
+
+func TestReservedSinkWrapsWhenFull(t *testing.T) {
+	eng := sim.NewEngine()
+	d := &fakeDisk{eng: eng, pages: 100}
+	sink, err := NewReservedSink([]raid.Disk{d}, 80, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // 4 × 8 pages > 20-page region
+		sink.WriteUnit(0, 0, 8, nil)
+	}
+	if d.writes != 32 {
+		t.Fatalf("writes %d", d.writes)
+	}
+	if d.lastW < 80 || d.lastW >= 100 {
+		t.Fatalf("wrapped write at %d escaped the region", d.lastW)
+	}
+}
+
+func TestStartIsIdempotent(t *testing.T) {
+	eng, arr, _ := fixture(t)
+	arr.FailDisk(3)
+	spare := &fakeDisk{eng: eng, pages: 220}
+	rb, _ := New(eng, arr, &SpareSink{Disk: spare}, 10, 4096)
+	rb.Start(0)
+	rb.Start(0) // second call must not double-drive
+	eng.Run()
+	if rb.Stats().UnitsRebuilt != int64(arr.Layout().Stripes()) {
+		t.Fatalf("units %d", rb.Stats().UnitsRebuilt)
+	}
+}

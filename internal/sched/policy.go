@@ -1,0 +1,116 @@
+// Package sched implements the GC-coordination policies the paper compares
+// against: LGC (local, uncoordinated garbage collection — each SSD collects
+// on its own schedule) and GGC (globally coordinated garbage collection,
+// Kim et al.'s Harmonia: when any SSD starts collecting, every SSD in the
+// array is forced to collect at the same time).
+//
+// It also provides the Hub, a fan-out for device GC start/end events:
+// ssd.Device exposes single OnGCStart/OnGCEnd hooks, and both a policy and
+// the GC-Steering redirector need them.
+package sched
+
+import (
+	"gcsteering/internal/sim"
+	"gcsteering/internal/ssd"
+)
+
+// Hub multiplexes the GC hooks of a set of devices to any number of
+// subscribers. Install it before handing the devices to other components,
+// then subscribe instead of setting the device hooks directly.
+type Hub struct {
+	devs    []*ssd.Device
+	onStart []func(now sim.Time, d *ssd.Device)
+	onEnd   []func(now sim.Time, d *ssd.Device)
+}
+
+// NewHub installs itself on every device's GC hooks.
+func NewHub(devs []*ssd.Device) *Hub {
+	h := &Hub{devs: devs}
+	for _, d := range devs {
+		d.OnGCStart = h.fanStart
+		d.OnGCEnd = h.fanEnd
+	}
+	return h
+}
+
+func (h *Hub) fanStart(now sim.Time, d *ssd.Device) {
+	for _, fn := range h.onStart {
+		fn(now, d)
+	}
+}
+
+func (h *Hub) fanEnd(now sim.Time, d *ssd.Device) {
+	for _, fn := range h.onEnd {
+		fn(now, d)
+	}
+}
+
+// SubscribeStart registers fn for GC-start events.
+func (h *Hub) SubscribeStart(fn func(now sim.Time, d *ssd.Device)) {
+	h.onStart = append(h.onStart, fn)
+}
+
+// SubscribeEnd registers fn for GC-end events.
+func (h *Hub) SubscribeEnd(fn func(now sim.Time, d *ssd.Device)) {
+	h.onEnd = append(h.onEnd, fn)
+}
+
+// Devices returns the devices the hub watches.
+func (h *Hub) Devices() []*ssd.Device { return h.devs }
+
+// AnyInGC reports whether any device is collecting at now.
+func (h *Hub) AnyInGC(now sim.Time) bool {
+	for _, d := range h.devs {
+		if d.InGC(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy is a GC-coordination scheme.
+type Policy interface {
+	// Name returns the scheme name as used in the paper ("LGC", "GGC").
+	Name() string
+	// Attach wires the policy to the array's devices via the hub.
+	Attach(h *Hub)
+}
+
+// LGC is the default, uncoordinated policy: every device garbage-collects
+// independently when its own free space runs low. It needs no coordination
+// logic; the type exists so experiments can treat all schemes uniformly.
+type LGC struct{}
+
+// Name implements Policy.
+func (LGC) Name() string { return "LGC" }
+
+// Attach implements Policy (no coordination).
+func (LGC) Attach(*Hub) {}
+
+// GGC forces every device to start a GC episode whenever any one device
+// does. The devices collect in parallel, giving the array a long fully-
+// clean period afterwards, at the cost of (a) the array being unavailable
+// during the coordinated episode and (b) more total collections, because
+// devices are forced to collect before their free space requires it —
+// both effects the paper reports (§II-A, Fig. 7b).
+type GGC struct {
+	// Triggered counts how many coordinated rounds were initiated.
+	Triggered int64
+}
+
+// Name implements Policy.
+func (g *GGC) Name() string { return "GGC" }
+
+// Attach implements Policy.
+func (g *GGC) Attach(h *Hub) {
+	h.SubscribeStart(func(now sim.Time, src *ssd.Device) {
+		g.Triggered++
+		for _, other := range h.Devices() {
+			if other != src {
+				// ForceGC is a no-op on devices already collecting, so the
+				// cascade of start events terminates.
+				other.ForceGC(now)
+			}
+		}
+	})
+}

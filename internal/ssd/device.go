@@ -1,0 +1,419 @@
+// Package ssd provides the timed model of one flash SSD: it turns the
+// logical decisions of the FTL (internal/flash) into occupancy of parallel
+// flash channels on the simulation clock, including the garbage-collection
+// episodes whose interference with user I/O is the subject of the paper.
+//
+// The queueing model is deliberately simple and deterministic: each channel
+// is a FIFO server with a next-free timestamp. An operation submitted at
+// time t on channel c starts at max(t, nextFree[c]) and holds the channel
+// for its service time. Garbage collection injects its page moves and block
+// erases into the same queues, so user requests that arrive while a device
+// is collecting wait behind the GC work — exactly the contention
+// GC-Steering removes by steering requests elsewhere.
+package ssd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gcsteering/internal/flash"
+	"gcsteering/internal/sim"
+)
+
+// LatencyModel holds the flash timing parameters. Defaults follow the
+// paper's §I: an erase is an order of magnitude slower than a program,
+// which is an order of magnitude slower than a read.
+type LatencyModel struct {
+	PageRead    sim.Time // flash array read of one page
+	PageProgram sim.Time // program of one page
+	BlockErase  sim.Time // erase of one block
+	BusTransfer sim.Time // channel bus transfer of one page
+}
+
+// DefaultLatency returns the default flash timing.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		PageRead:    50 * sim.Microsecond,
+		PageProgram: 500 * sim.Microsecond,
+		BlockErase:  3 * sim.Millisecond,
+		BusTransfer: 10 * sim.Microsecond,
+	}
+}
+
+// Config configures one device.
+type Config struct {
+	Geometry flash.Geometry
+	Latency  LatencyModel
+	// GCLowWater triggers garbage collection when free blocks drop to or
+	// below it. GCHighWater is the free-block target an episode restores.
+	// Small (high-low) gaps give frequent short GC pauses; large gaps give
+	// rare long pauses.
+	GCLowWater  int
+	GCHighWater int
+	// ForcedGCVictims is the minimum number of blocks a ForceGC episode
+	// collects even when free space is plentiful (GGC forces devices to
+	// collect "no matter how much free space is available in them").
+	// Defaults to 2 when zero.
+	ForcedGCVictims int
+	// GCOverhead is the fixed cost of entering a GC episode (FTL metadata
+	// scans, internal pipeline drain) charged to every channel at episode
+	// start, independent of how much data the episode moves. It is what
+	// makes frequent forced invocations expensive.
+	GCOverhead sim.Time
+}
+
+// DefaultConfig returns a device configuration with DefaultGeometry,
+// DefaultLatency, and watermarks sized to the channel count (one spare
+// block per channel low, three per channel high).
+func DefaultConfig() Config {
+	g := flash.DefaultGeometry()
+	return Config{
+		Geometry:    g,
+		Latency:     DefaultLatency(),
+		GCLowWater:  g.Channels,
+		GCHighWater: 2 * g.Channels,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if c.GCLowWater <= 0 || c.GCHighWater <= c.GCLowWater {
+		return fmt.Errorf("ssd: watermarks low=%d high=%d invalid", c.GCLowWater, c.GCHighWater)
+	}
+	if c.Latency.PageRead <= 0 || c.Latency.PageProgram <= 0 || c.Latency.BlockErase <= 0 {
+		return fmt.Errorf("ssd: latencies must be positive: %+v", c.Latency)
+	}
+	return nil
+}
+
+// Stats aggregates a device's cumulative activity.
+type Stats struct {
+	ReadOps      int64
+	WriteOps     int64
+	PagesRead    int64
+	PagesWritten int64
+	GCEpisodes   int64
+	GCPagesMoved int64
+	Erases       int64
+	ForcedGCs    int64
+	BusyTime     sim.Time // total channel occupancy (sum over channels)
+	GCBusyTime   sim.Time // channel occupancy consumed by GC work
+	GCWallTime   sim.Time // wall-clock time the device spent in the GC state
+}
+
+// Device is one simulated SSD attached to a simulation engine.
+type Device struct {
+	// ID identifies the device inside an array; used only for reporting.
+	ID int
+
+	cfg  Config
+	eng  *sim.Engine
+	ftl  *flash.FTL
+	free []sim.Time // per-channel next-free instant
+
+	gcEndAt sim.Time // device is "in GC" while Now < gcEndAt
+	stats   Stats
+
+	// OnGCStart and OnGCEnd, when non-nil, are invoked as GC episodes begin
+	// and finish. The GGC policy and the GC-Steering redirector both hook
+	// these. OnGCEnd fires via the event queue at the episode's end time.
+	OnGCStart func(now sim.Time, d *Device)
+	OnGCEnd   func(now sim.Time, d *Device)
+}
+
+// New creates a device bound to engine eng.
+func New(id int, eng *sim.Engine, cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ftl, err := flash.NewFTL(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		ID:   id,
+		cfg:  cfg,
+		eng:  eng,
+		ftl:  ftl,
+		free: make([]sim.Time, cfg.Geometry.Channels),
+	}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// LogicalPages is the host-visible page count.
+func (d *Device) LogicalPages() int { return d.cfg.Geometry.LogicalPages() }
+
+// PageSize is the page size in bytes.
+func (d *Device) PageSize() int { return d.cfg.Geometry.PageSize }
+
+// Stats returns a snapshot of the cumulative statistics. Erase and GC page
+// counts come from the FTL so they include prefill-time collections only if
+// timed GC ran (prefill uses untimed logical collection and is excluded).
+func (d *Device) Stats() Stats {
+	s := d.stats
+	return s
+}
+
+// WriteAmplification reports the FTL's cumulative write amplification.
+func (d *Device) WriteAmplification() float64 { return d.ftl.WriteAmplification() }
+
+// InGC reports whether a garbage-collection episode is in progress at now.
+func (d *Device) InGC(now sim.Time) bool { return now < d.gcEndAt }
+
+// GCEndsAt returns the end instant of the current episode (zero if idle).
+func (d *Device) GCEndsAt() sim.Time { return d.gcEndAt }
+
+// occupy reserves channel c for duration dur starting no earlier than now,
+// returning the completion instant.
+func (d *Device) occupy(now sim.Time, c int, dur sim.Time) sim.Time {
+	start := now
+	if d.free[c] > start {
+		start = d.free[c]
+	}
+	end := start + dur
+	d.free[c] = end
+	d.stats.BusyTime += dur
+	return end
+}
+
+// channelFor maps a logical page with no physical mapping to a channel so
+// reads of never-written pages still cost one read.
+func (d *Device) channelFor(lpn int) int {
+	return lpn % d.cfg.Geometry.Channels
+}
+
+// Read services a read of pages logical pages starting at lpn. done, if
+// non-nil, fires when the last page is delivered.
+func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) {
+	d.checkRange(lpn, pages)
+	d.stats.ReadOps++
+	d.stats.PagesRead += int64(pages)
+	finish := now
+	for i := 0; i < pages; i++ {
+		ppn := d.ftl.Lookup(lpn + i)
+		var c int
+		if ppn >= 0 {
+			c = d.cfg.Geometry.PageChannel(ppn)
+		} else {
+			c = d.channelFor(lpn + i)
+		}
+		end := d.occupy(now, c, d.cfg.Latency.PageRead+d.cfg.Latency.BusTransfer)
+		if end > finish {
+			finish = end
+		}
+	}
+	if done != nil {
+		d.eng.At(finish, done)
+	}
+}
+
+// Write services a write of pages logical pages starting at lpn. done, if
+// non-nil, fires when the last page is durable. Writes may trigger a
+// garbage-collection episode whose channel time lands after this request's
+// own programs.
+func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) {
+	d.checkRange(lpn, pages)
+	d.stats.WriteOps++
+	d.stats.PagesWritten += int64(pages)
+	finish := now
+	for i := 0; i < pages; i++ {
+		ppn := d.ftl.Write(lpn + i)
+		c := d.cfg.Geometry.PageChannel(ppn)
+		end := d.occupy(now, c, d.cfg.Latency.PageProgram+d.cfg.Latency.BusTransfer)
+		if end > finish {
+			finish = end
+		}
+	}
+	if done != nil {
+		d.eng.At(finish, done)
+	}
+	if d.ftl.NeedGC(d.cfg.GCLowWater) {
+		d.startGC(now, d.cfg.GCHighWater, 0, false)
+	}
+}
+
+// SetColdBoundary marks LPNs at or above boundary as cold-stream data
+// (the staging region); the FTL keeps them in separate active blocks so
+// long-lived staging copies do not pollute hot user-data blocks.
+func (d *Device) SetColdBoundary(boundary int) { d.ftl.SetColdBoundary(boundary) }
+
+// Trim drops mappings without consuming channel time (a metadata op).
+func (d *Device) Trim(lpn, pages int) {
+	d.checkRange(lpn, pages)
+	for i := 0; i < pages; i++ {
+		d.ftl.Trim(lpn + i)
+	}
+}
+
+// ForceGC starts a garbage-collection episode even when free space is above
+// the low watermark. The GGC policy invokes it on every device of an array
+// whenever any one device begins collecting. It is a no-op when an episode
+// is already running or when no block has any invalid page.
+func (d *Device) ForceGC(now sim.Time) {
+	if d.InGC(now) {
+		return
+	}
+	min := d.cfg.ForcedGCVictims
+	if min <= 0 {
+		min = 2
+	}
+	// A forced episode collects a fixed amount of garbage and stops: it
+	// does not refill the free pool to the high watermark, so the device's
+	// own natural GC schedule is unchanged. Under GC-frequent workloads
+	// every device's natural trigger launches a global round, which is what
+	// makes GGC's total GC count balloon (the paper's Fig. 7b).
+	d.startGC(now, 0, min, true)
+}
+
+// startGC plans a collection episode and charges its time to the channels.
+// It may be called while an episode is already running (writes arriving
+// during a long episode can drain the free pool below the low watermark
+// again); the new work simply extends the in-GC window.
+func (d *Device) startGC(now sim.Time, targetFree, minVictims int, forced bool) {
+	plan := d.ftl.CollectUntil(targetFree, minVictims)
+	if plan.Empty() {
+		return
+	}
+	lat := d.cfg.Latency
+	busyBefore := d.stats.BusyTime
+	endAll := now
+	if d.cfg.GCOverhead > 0 {
+		for c := 0; c < d.cfg.Geometry.Channels; c++ {
+			if end := d.occupy(now, c, d.cfg.GCOverhead); end > endAll {
+				endAll = end
+			}
+		}
+	}
+	for _, v := range plan.Victims {
+		var victimEnd sim.Time
+		for _, m := range v.Moves {
+			rEnd := d.occupy(now, d.cfg.Geometry.PageChannel(m.From), lat.PageRead+lat.BusTransfer)
+			wEnd := d.occupy(now, d.cfg.Geometry.PageChannel(m.To), lat.PageProgram+lat.BusTransfer)
+			if rEnd > victimEnd {
+				victimEnd = rEnd
+			}
+			if wEnd > victimEnd {
+				victimEnd = wEnd
+			}
+		}
+		eEnd := d.occupy(now, v.Channel, lat.BlockErase)
+		if eEnd > victimEnd {
+			victimEnd = eEnd
+		}
+		if victimEnd > endAll {
+			endAll = victimEnd
+		}
+	}
+	d.stats.GCBusyTime += d.stats.BusyTime - busyBefore
+	if wallStart := d.gcEndAt; endAll > wallStart {
+		if wallStart < now {
+			wallStart = now
+		}
+		d.stats.GCWallTime += endAll - wallStart
+	}
+	if endAll > d.gcEndAt {
+		d.gcEndAt = endAll
+	}
+	d.stats.GCEpisodes++
+	d.stats.GCPagesMoved += int64(plan.PagesMoved)
+	d.stats.Erases += int64(plan.Erases)
+	if forced {
+		d.stats.ForcedGCs++
+	}
+	if d.OnGCStart != nil {
+		d.OnGCStart(now, d)
+	}
+	if d.OnGCEnd != nil {
+		end := endAll
+		d.eng.At(end, func(t sim.Time) {
+			// Guard against a later episode having extended the window
+			// (cannot happen today because startGC refuses while InGC, but
+			// the check keeps the hook safe under future policies).
+			if d.gcEndAt == end {
+				d.OnGCEnd(t, d)
+			}
+		})
+	}
+}
+
+func (d *Device) checkRange(lpn, pages int) {
+	if pages < 0 || lpn < 0 || lpn+pages > d.LogicalPages() {
+		panic(fmt.Sprintf("ssd: page range [%d,%d) outside device of %d pages",
+			lpn, lpn+pages, d.LogicalPages()))
+	}
+	if pages == 0 {
+		panic("ssd: zero-page request")
+	}
+}
+
+// Prefill performs the paper's "simulation warm-up": it writes the first
+// usedPages logical pages once (so reads of live data hit mapped pages)
+// and then randomly overwrites overwriteFrac of that span so block
+// validity is uneven and steady-state garbage collection has genuine
+// victims. Pages above usedPages (for example a reserved staging region)
+// stay unmapped — they carry no host data yet. Passing usedPages <= 0
+// leaves the device completely fresh. All of this is logical only — it
+// consumes no simulated time and is excluded from the device statistics.
+func (d *Device) Prefill(rng *rand.Rand, overwriteFrac float64, usedPages int) {
+	if usedPages > d.LogicalPages() {
+		usedPages = d.LogicalPages()
+	}
+	for lpn := 0; lpn < usedPages; lpn++ {
+		d.ftl.Write(lpn)
+	}
+	n := int(overwriteFrac * float64(usedPages))
+	for i := 0; i < n; i++ {
+		d.ftl.Write(rng.Intn(usedPages))
+		if d.ftl.NeedGC(d.cfg.GCLowWater) {
+			d.ftl.CollectUntil(d.cfg.GCHighWater, 0)
+		}
+	}
+	// Forget warm-up activity so experiments start from zero counters.
+	d.stats = Stats{}
+}
+
+// FreeBlocks exposes the FTL free-block count (used by tests and by the
+// harness to verify steady-state warm-up).
+func (d *Device) FreeBlocks() int { return d.ftl.FreeBlocks() }
+
+// Erases exposes the FTL cumulative erase count including warm-up.
+func (d *Device) Erases() int64 { return d.ftl.Erases() }
+
+// ChannelBacklog returns how far in the future channel c is booked.
+func (d *Device) ChannelBacklog(now sim.Time, c int) sim.Time {
+	if d.free[c] <= now {
+		return 0
+	}
+	return d.free[c] - now
+}
+
+// MaxBacklog returns the largest channel backlog at now.
+func (d *Device) MaxBacklog(now sim.Time) sim.Time {
+	var m sim.Time
+	for c := range d.free {
+		if b := d.ChannelBacklog(now, c); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Wear returns the maximum and mean per-block erase counts, the endurance
+// view of GC activity (each block tolerates a limited number of erases).
+func (d *Device) Wear() (max int, mean float64) {
+	blocks := d.cfg.Geometry.Blocks
+	total := 0
+	for b := 0; b < blocks; b++ {
+		ec := d.ftl.BlockEraseCount(b)
+		total += ec
+		if ec > max {
+			max = ec
+		}
+	}
+	return max, float64(total) / float64(blocks)
+}

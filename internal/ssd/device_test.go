@@ -1,0 +1,288 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+
+	"gcsteering/internal/flash"
+	"gcsteering/internal/sim"
+)
+
+func testConfig() Config {
+	return Config{
+		Geometry: flash.Geometry{
+			PageSize:      4096,
+			PagesPerBlock: 32,
+			Blocks:        64,
+			Channels:      4,
+			OverProvision: 0.20,
+		},
+		Latency:     DefaultLatency(),
+		GCLowWater:  2,
+		GCHighWater: 6,
+	}
+}
+
+func newDevice(t *testing.T) (*sim.Engine, *Device) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d, err := New(0, eng, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	c := testConfig()
+	c.GCHighWater = c.GCLowWater // high must exceed low
+	if err := c.Validate(); err == nil {
+		t.Fatal("equal watermarks accepted")
+	}
+	c = testConfig()
+	c.Latency.PageRead = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero read latency accepted")
+	}
+}
+
+func TestSinglePageReadLatency(t *testing.T) {
+	eng, d := newDevice(t)
+	var doneAt sim.Time
+	d.Read(0, 0, 1, func(now sim.Time) { doneAt = now })
+	eng.Run()
+	want := DefaultLatency().PageRead + DefaultLatency().BusTransfer
+	if doneAt != want {
+		t.Fatalf("read finished at %v, want %v", doneAt, want)
+	}
+}
+
+func TestSinglePageWriteLatency(t *testing.T) {
+	eng, d := newDevice(t)
+	var doneAt sim.Time
+	d.Write(0, 0, 1, func(now sim.Time) { doneAt = now })
+	eng.Run()
+	want := DefaultLatency().PageProgram + DefaultLatency().BusTransfer
+	if doneAt != want {
+		t.Fatalf("write finished at %v, want %v", doneAt, want)
+	}
+}
+
+func TestParallelChannelsOverlap(t *testing.T) {
+	eng, d := newDevice(t)
+	// A multi-page write stripes across channels, so 4 pages on a 4-channel
+	// device take one program, not four.
+	var doneAt sim.Time
+	d.Write(0, 0, 4, func(now sim.Time) { doneAt = now })
+	eng.Run()
+	perPage := DefaultLatency().PageProgram + DefaultLatency().BusTransfer
+	if doneAt != perPage {
+		t.Fatalf("4-page striped write finished at %v, want %v (parallel)", doneAt, perPage)
+	}
+}
+
+func TestQueueingOnSameChannel(t *testing.T) {
+	eng, d := newDevice(t)
+	// Two reads of the same (unmapped) page land on the same channel and
+	// must serialize.
+	var first, second sim.Time
+	d.Read(0, 0, 1, func(now sim.Time) { first = now })
+	d.Read(0, 0, 1, func(now sim.Time) { second = now })
+	eng.Run()
+	perPage := DefaultLatency().PageRead + DefaultLatency().BusTransfer
+	if first != perPage || second != 2*perPage {
+		t.Fatalf("reads finished at %v and %v, want %v and %v", first, second, perPage, 2*perPage)
+	}
+}
+
+func TestRangePanics(t *testing.T) {
+	_, d := newDevice(t)
+	for _, tc := range []struct{ lpn, pages int }{
+		{-1, 1}, {0, 0}, {0, -1}, {d.LogicalPages(), 1}, {d.LogicalPages() - 1, 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Read(%d,%d) did not panic", tc.lpn, tc.pages)
+				}
+			}()
+			d.Read(0, tc.lpn, tc.pages, nil)
+		}()
+	}
+}
+
+func TestPrefillReachesSteadyState(t *testing.T) {
+	_, d := newDevice(t)
+	d.Prefill(rand.New(rand.NewSource(1)), 0.5, d.LogicalPages())
+	if d.FreeBlocks() > d.Config().GCHighWater {
+		t.Fatalf("FreeBlocks = %d after prefill, want <= high watermark %d",
+			d.FreeBlocks(), d.Config().GCHighWater)
+	}
+	if d.Stats() != (Stats{}) {
+		t.Fatalf("prefill leaked into stats: %+v", d.Stats())
+	}
+	if d.Erases() == 0 {
+		t.Fatal("prefill with 50% overwrite should have forced untimed GC")
+	}
+}
+
+// driveToGC writes random pages until a GC episode begins, returning the
+// trigger time.
+func driveToGC(t *testing.T, eng *sim.Engine, d *Device, rng *rand.Rand) sim.Time {
+	t.Helper()
+	lp := d.LogicalPages()
+	step := 100 * sim.Microsecond
+	for i := 0; i < 200000; i++ {
+		now := eng.Now()
+		d.Write(now, rng.Intn(lp), 1, nil)
+		if d.InGC(now) {
+			return now
+		}
+		eng.RunFor(step)
+	}
+	t.Fatal("never reached GC")
+	return 0
+}
+
+func TestGCBlocksUserIO(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Prefill(rand.New(rand.NewSource(2)), 0.5, d.LogicalPages())
+	rng := rand.New(rand.NewSource(3))
+	now := driveToGC(t, eng, d, rng)
+	if !d.InGC(now) {
+		t.Fatal("expected device in GC")
+	}
+	gcEnd := d.GCEndsAt()
+	if gcEnd <= now {
+		t.Fatalf("GC end %v not after trigger %v", gcEnd, now)
+	}
+	// A read issued during the episode should finish far later than the
+	// raw page-read time: it queues behind GC channel work.
+	var doneAt sim.Time
+	d.Read(now, 0, 1, func(t sim.Time) { doneAt = t })
+	eng.Run()
+	raw := DefaultLatency().PageRead + DefaultLatency().BusTransfer
+	if doneAt-now <= raw {
+		t.Fatalf("read during GC finished in %v, expected queueing behind GC (> %v)",
+			doneAt-now, raw)
+	}
+	if d.Stats().GCEpisodes == 0 {
+		t.Fatal("GC episode not counted")
+	}
+}
+
+func TestGCHooksFire(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Prefill(rand.New(rand.NewSource(4)), 0.5, d.LogicalPages())
+	var starts, ends int
+	var startAt, endAt sim.Time
+	d.OnGCStart = func(now sim.Time, dev *Device) {
+		starts++
+		startAt = now
+		if dev != d {
+			t.Error("hook passed wrong device")
+		}
+	}
+	d.OnGCEnd = func(now sim.Time, dev *Device) { ends++; endAt = now }
+	rng := rand.New(rand.NewSource(5))
+	driveToGC(t, eng, d, rng)
+	eng.Run()
+	if starts == 0 || ends == 0 {
+		t.Fatalf("hooks: starts=%d ends=%d", starts, ends)
+	}
+	if endAt <= startAt {
+		t.Fatalf("GC end %v not after start %v", endAt, startAt)
+	}
+}
+
+func TestForceGCWorksAndIsIdempotentDuringEpisode(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Prefill(rand.New(rand.NewSource(6)), 0.5, d.LogicalPages())
+	now := eng.Now()
+	if d.InGC(now) {
+		t.Fatal("precondition: not in GC")
+	}
+	d.ForceGC(now)
+	if !d.InGC(now) {
+		t.Fatal("ForceGC did not start an episode (prefill guarantees garbage)")
+	}
+	episodes := d.Stats().GCEpisodes
+	d.ForceGC(now) // second call during the episode must be a no-op
+	if d.Stats().GCEpisodes != episodes {
+		t.Fatal("ForceGC started a second overlapping episode")
+	}
+	if d.Stats().ForcedGCs != 1 {
+		t.Fatalf("ForcedGCs = %d, want 1", d.Stats().ForcedGCs)
+	}
+	eng.Run()
+}
+
+func TestForceGCOnCleanDeviceIsNoop(t *testing.T) {
+	eng, d := newDevice(t)
+	// No data at all: nothing collectible.
+	d.ForceGC(eng.Now())
+	if d.InGC(eng.Now()) || d.Stats().GCEpisodes != 0 {
+		t.Fatal("ForceGC on a clean device should do nothing")
+	}
+}
+
+func TestGCRestoresFreeBlocks(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Prefill(rand.New(rand.NewSource(7)), 0.5, d.LogicalPages())
+	rng := rand.New(rand.NewSource(8))
+	driveToGC(t, eng, d, rng)
+	// Logical GC applies instantly, so free blocks are restored at trigger.
+	if d.FreeBlocks() < d.Config().GCHighWater {
+		t.Fatalf("FreeBlocks = %d right after trigger, want >= %d",
+			d.FreeBlocks(), d.Config().GCHighWater)
+	}
+}
+
+func TestBacklogReporting(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Write(0, 0, 1, func(sim.Time) {})
+	if d.MaxBacklog(0) == 0 {
+		t.Fatal("expected nonzero backlog right after submit")
+	}
+	eng.Run() // the completion event advances the clock past the backlog
+	if d.MaxBacklog(eng.Now()) != 0 {
+		t.Fatal("backlog should drain to zero")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Read(0, 0, 3, nil)
+	d.Write(0, 10, 2, nil)
+	eng.Run()
+	s := d.Stats()
+	if s.ReadOps != 1 || s.PagesRead != 3 || s.WriteOps != 1 || s.PagesWritten != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BusyTime == 0 {
+		t.Fatal("BusyTime not accounted")
+	}
+}
+
+func BenchmarkDeviceRandomWrite(b *testing.B) {
+	eng := sim.NewEngine()
+	d, err := New(0, eng, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Prefill(rand.New(rand.NewSource(1)), 0.5, d.LogicalPages())
+	rng := rand.New(rand.NewSource(2))
+	lp := d.LogicalPages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(eng.Now(), rng.Intn(lp), 1, nil)
+		eng.RunFor(50 * sim.Microsecond)
+	}
+	b.StopTimer()
+	eng.Run()
+	b.ReportMetric(float64(d.Stats().GCEpisodes), "gc-episodes")
+}

@@ -1,0 +1,109 @@
+package trace
+
+// Page-access classification used by the paper's §II-C and Figure 2: a
+// page is read-intensive (RI) when more than `threshold` of its accesses
+// are reads, write-intensive (WI) when more than `threshold` are writes,
+// and mixed (MIX) otherwise.
+
+// PageClass labels one page's access pattern.
+type PageClass int
+
+const (
+	// ClassRI marks read-intensive pages (> threshold reads).
+	ClassRI PageClass = iota
+	// ClassWI marks write-intensive pages (> threshold writes).
+	ClassWI
+	// ClassMIX marks pages with genuinely interleaved reads and writes.
+	ClassMIX
+)
+
+// String names the class as in the paper.
+func (c PageClass) String() string {
+	switch c {
+	case ClassRI:
+		return "RI"
+	case ClassWI:
+		return "WI"
+	default:
+		return "MIX"
+	}
+}
+
+// Classification is the Figure 2 summary: how pages divide into the three
+// classes and where the read/write traffic lands.
+type Classification struct {
+	Pages map[PageClass]int // page counts by class
+
+	Reads        int64 // total page-granularity read accesses
+	Writes       int64 // total page-granularity write accesses
+	ReadsByClass map[PageClass]int64
+	WritesByClas map[PageClass]int64
+}
+
+// ReadShare returns the fraction of read accesses landing on pages of
+// class c (Fig. 2a's bars).
+func (c Classification) ReadShare(cl PageClass) float64 {
+	if c.Reads == 0 {
+		return 0
+	}
+	return float64(c.ReadsByClass[cl]) / float64(c.Reads)
+}
+
+// WriteShare returns the fraction of write accesses landing on pages of
+// class c (Fig. 2b's bars).
+func (c Classification) WriteShare(cl PageClass) float64 {
+	if c.Writes == 0 {
+		return 0
+	}
+	return float64(c.WritesByClas[cl]) / float64(c.Writes)
+}
+
+// ClassifyPages computes the Figure 2 classification of a trace at the
+// given page size. threshold is the paper's 0.90: a page whose accesses are
+// >90% reads is RI, >90% writes is WI, anything else MIX.
+func ClassifyPages(t Trace, pageSize int, threshold float64) Classification {
+	type counts struct{ r, w int32 }
+	perPage := make(map[int64]*counts)
+	touch := func(rec Record) {
+		first := rec.Offset / int64(pageSize)
+		last := (rec.Offset + int64(rec.Size) - 1) / int64(pageSize)
+		for p := first; p <= last; p++ {
+			c := perPage[p]
+			if c == nil {
+				c = &counts{}
+				perPage[p] = c
+			}
+			if rec.Write {
+				c.w++
+			} else {
+				c.r++
+			}
+		}
+	}
+	for _, rec := range t {
+		touch(rec)
+	}
+	out := Classification{
+		Pages:        make(map[PageClass]int),
+		ReadsByClass: make(map[PageClass]int64),
+		WritesByClas: make(map[PageClass]int64),
+	}
+	for _, c := range perPage {
+		total := float64(c.r + c.w)
+		var cl PageClass
+		switch {
+		case float64(c.r) > threshold*total:
+			cl = ClassRI
+		case float64(c.w) > threshold*total:
+			cl = ClassWI
+		default:
+			cl = ClassMIX
+		}
+		out.Pages[cl]++
+		out.Reads += int64(c.r)
+		out.Writes += int64(c.w)
+		out.ReadsByClass[cl] += int64(c.r)
+		out.WritesByClas[cl] += int64(c.w)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gcsteering/internal/sim"
+)
+
+// MSR Cambridge trace format: one CSV line per request,
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// where Timestamp is a Windows FILETIME (100 ns ticks since 1601),
+// Type is "Read" or "Write", Offset and Size are bytes, and ResponseTime is
+// in 100 ns ticks (ignored on parse). Timestamps are rebased so the first
+// record is at zero.
+
+const filetimeTick = 100 * sim.Nanosecond
+
+// ParseMSR reads an MSR-format CSV stream.
+func ParseMSR(r io.Reader) (Trace, error) {
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var base int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) < 6 {
+			return nil, fmt.Errorf("trace: msr line %d: %d fields, want >= 6", line, len(f))
+		}
+		ts, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: msr line %d timestamp: %v", line, err)
+		}
+		var write bool
+		switch strings.ToLower(f[3]) {
+		case "write", "w":
+			write = true
+		case "read", "r":
+			write = false
+		default:
+			return nil, fmt.Errorf("trace: msr line %d type %q", line, f[3])
+		}
+		off, err := strconv.ParseInt(f[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: msr line %d offset: %v", line, err)
+		}
+		size, err := strconv.Atoi(f[5])
+		if err != nil {
+			return nil, fmt.Errorf("trace: msr line %d size: %v", line, err)
+		}
+		if len(t) == 0 {
+			base = ts
+		}
+		t = append(t, Record{
+			Timestamp: sim.Time(ts-base) * filetimeTick,
+			Offset:    off,
+			Size:      size,
+			Write:     write,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: msr scan: %w", err)
+	}
+	SortByTime(t)
+	return t, nil
+}
+
+// WriteMSR emits the trace in MSR CSV format with host "sim" disk 0.
+func WriteMSR(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t {
+		typ := "Read"
+		if r.Write {
+			typ = "Write"
+		}
+		ticks := int64(r.Timestamp / filetimeTick)
+		if _, err := fmt.Fprintf(bw, "%d,sim,0,%s,%d,%d,0\n", ticks, typ, r.Offset, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gcsteering/internal/sim"
+)
+
+// SPC-1 style format used by the UMass Financial (Fin1) OLTP traces:
+//
+//	ASU,LBA,Size,Opcode,Timestamp
+//
+// where ASU is an application storage unit id, LBA is the block address in
+// 512-byte sectors, Size is in bytes, Opcode is r/R/w/W, and Timestamp is
+// fractional seconds since trace start.
+
+const sectorSize = 512
+
+// ParseSPC reads an SPC-1 style CSV stream. Requests from all ASUs are
+// merged; the ASU id shifts the offset so distinct units do not collide
+// (each ASU is given a 64 GiB window, larger than any Fin1 unit).
+func ParseSPC(r io.Reader) (Trace, error) {
+	const asuWindow = int64(64) << 30
+	var t Trace
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) < 5 {
+			return nil, fmt.Errorf("trace: spc line %d: %d fields, want >= 5", line, len(f))
+		}
+		asu, err := strconv.Atoi(strings.TrimSpace(f[0]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: spc line %d asu: %v", line, err)
+		}
+		lba, err := strconv.ParseInt(strings.TrimSpace(f[1]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: spc line %d lba: %v", line, err)
+		}
+		size, err := strconv.Atoi(strings.TrimSpace(f[2]))
+		if err != nil {
+			return nil, fmt.Errorf("trace: spc line %d size: %v", line, err)
+		}
+		var write bool
+		switch strings.TrimSpace(f[3]) {
+		case "w", "W":
+			write = true
+		case "r", "R":
+			write = false
+		default:
+			return nil, fmt.Errorf("trace: spc line %d opcode %q", line, f[3])
+		}
+		secs, err := strconv.ParseFloat(strings.TrimSpace(f[4]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: spc line %d timestamp: %v", line, err)
+		}
+		t = append(t, Record{
+			Timestamp: sim.Time(secs * float64(sim.Second)),
+			Offset:    int64(asu)*asuWindow + lba*sectorSize,
+			Size:      size,
+			Write:     write,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: spc scan: %w", err)
+	}
+	SortByTime(t)
+	return t, nil
+}
+
+// WriteSPC emits the trace in SPC-1 style format under ASU 0.
+func WriteSPC(w io.Writer, t Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range t {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
+			r.Offset/sectorSize, r.Size, op, r.Timestamp.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

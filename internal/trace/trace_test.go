@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gcsteering/internal/sim"
+)
+
+func sampleTrace() Trace {
+	return Trace{
+		{Timestamp: 0, Offset: 0, Size: 4096, Write: false},
+		{Timestamp: sim.Millisecond, Offset: 8192, Size: 8192, Write: true},
+		{Timestamp: 2 * sim.Millisecond, Offset: 4096, Size: 4096, Write: false},
+		{Timestamp: 5 * sim.Millisecond, Offset: 1 << 20, Size: 16384, Write: true},
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := ComputeStats(sampleTrace())
+	if s.Requests != 4 || s.Reads != 2 || s.Writes != 2 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.ReadRatio != 0.5 {
+		t.Fatalf("ReadRatio = %v", s.ReadRatio)
+	}
+	wantAvg := float64(4096+8192+4096+16384) / 4 / 1024
+	if s.AvgSizeKB != wantAvg {
+		t.Fatalf("AvgSizeKB = %v, want %v", s.AvgSizeKB, wantAvg)
+	}
+	if s.Duration != 5*sim.Millisecond {
+		t.Fatalf("Duration = %v", s.Duration)
+	}
+	if s.MaxOffset != 1<<20+16384 {
+		t.Fatalf("MaxOffset = %d", s.MaxOffset)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := ComputeStats(nil)
+	if s.Requests != 0 || s.ReadRatio != 0 || s.AvgSizeKB != 0 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Validate(sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	bad := Trace{{Timestamp: 5}, {Timestamp: 3}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	bad = Trace{{Timestamp: 0, Offset: -1, Size: 1}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	bad = Trace{{Timestamp: 0, Offset: 0, Size: 0}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("zero size accepted")
+	}
+}
+
+func TestClampWrapsOffsets(t *testing.T) {
+	tr := Trace{
+		{Offset: 10 << 20, Size: 4096},
+		{Offset: (1 << 20) - 1024, Size: 8192}, // straddles the capacity end
+	}
+	Clamp(tr, 1<<20)
+	for i, r := range tr {
+		if r.Offset < 0 || r.Offset+int64(r.Size) > 1<<20 {
+			t.Fatalf("record %d not clamped: %+v", i, r)
+		}
+	}
+}
+
+func TestClampOversizeRequest(t *testing.T) {
+	tr := Trace{{Offset: 0, Size: 1 << 21}}
+	Clamp(tr, 1<<20)
+	if tr[0].Size != 1<<20 {
+		t.Fatalf("oversize request not truncated: %d", tr[0].Size)
+	}
+}
+
+func TestPageView(t *testing.T) {
+	r := Record{Offset: 4096, Size: 4096}
+	p, n := r.PageView(4096)
+	if p != 1 || n != 1 {
+		t.Fatalf("PageView = %d,%d", p, n)
+	}
+	r = Record{Offset: 4095, Size: 2}
+	p, n = r.PageView(4096)
+	if p != 0 || n != 2 {
+		t.Fatalf("straddling PageView = %d,%d", p, n)
+	}
+	r = Record{Offset: 0, Size: 1}
+	p, n = r.PageView(4096)
+	if p != 0 || n != 1 {
+		t.Fatalf("tiny PageView = %d,%d", p, n)
+	}
+}
+
+func TestMSRRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := WriteMSR(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseMSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Offset != orig[i].Offset || got[i].Size != orig[i].Size || got[i].Write != orig[i].Write {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], orig[i])
+		}
+		// FILETIME has 100ns resolution.
+		if d := got[i].Timestamp - orig[i].Timestamp; d < -100 || d > 100 {
+			t.Fatalf("record %d timestamp drift %v", i, d)
+		}
+	}
+}
+
+func TestParseMSRRealisticLine(t *testing.T) {
+	in := "128166372003061629,hm,0,Read,383496192,32768,413\n" +
+		"128166372016863437,hm,0,Write,2822144,4096,1128\n"
+	tr, err := ParseMSR(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("parsed %d records", len(tr))
+	}
+	if tr[0].Timestamp != 0 {
+		t.Fatalf("first timestamp not rebased: %v", tr[0].Timestamp)
+	}
+	if tr[0].Write || !tr[1].Write {
+		t.Fatal("types wrong")
+	}
+	if tr[0].Offset != 383496192 || tr[0].Size != 32768 {
+		t.Fatalf("fields wrong: %+v", tr[0])
+	}
+	// 13801808 ticks of 100ns = 1.3801808s
+	if tr[1].Timestamp != sim.Time(13801808)*100 {
+		t.Fatalf("second timestamp %v", tr[1].Timestamp)
+	}
+}
+
+func TestParseMSRSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\n1,h,0,Read,0,4096,0\n"
+	tr, err := ParseMSR(strings.NewReader(in))
+	if err != nil || len(tr) != 1 {
+		t.Fatalf("tr=%v err=%v", tr, err)
+	}
+}
+
+func TestParseMSRErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,h,0\n",               // too few fields
+		"x,h,0,Read,0,4096,0\n", // bad timestamp
+		"1,h,0,Frob,0,4096,0\n", // bad type
+		"1,h,0,Read,x,4096,0\n", // bad offset
+		"1,h,0,Read,0,x,0\n",    // bad size
+	} {
+		if _, err := ParseMSR(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestSPCRoundTrip(t *testing.T) {
+	orig := Trace{
+		{Timestamp: 0, Offset: 0, Size: 4096, Write: false},
+		{Timestamp: sim.Second / 2, Offset: 512 * 100, Size: 1024, Write: true},
+	}
+	var buf bytes.Buffer
+	if err := WriteSPC(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSPC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d", len(got))
+	}
+	for i := range orig {
+		if got[i].Offset != orig[i].Offset || got[i].Size != orig[i].Size || got[i].Write != orig[i].Write {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+func TestParseSPCRealisticLine(t *testing.T) {
+	in := "1,303567,3072,w,0.026214\n2,1204048,512,r,0.126147\n"
+	tr, err := ParseSPC(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("parsed %d", len(tr))
+	}
+	if !tr[0].Write || tr[1].Write {
+		t.Fatal("opcodes wrong")
+	}
+	// Distinct ASUs must not collide in offset space.
+	if tr[0].Offset/(64<<30) == tr[1].Offset/(64<<30) {
+		t.Fatal("ASU windows collide")
+	}
+}
+
+func TestParseSPCErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,2,3\n",         // too few fields
+		"x,1,512,r,0.1\n", // bad asu
+		"1,x,512,r,0.1\n", // bad lba
+		"1,1,x,r,0.1\n",   // bad size
+		"1,1,512,z,0.1\n", // bad opcode
+		"1,1,512,r,x\n",   // bad timestamp
+	} {
+		if _, err := ParseSPC(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestClassifyPages(t *testing.T) {
+	// Page 0: 10 reads (RI). Page 1: 10 writes (WI). Page 2: 5+5 (MIX).
+	var tr Trace
+	for i := 0; i < 10; i++ {
+		tr = append(tr, Record{Offset: 0, Size: 4096, Write: false})
+		tr = append(tr, Record{Offset: 4096, Size: 4096, Write: true})
+	}
+	for i := 0; i < 5; i++ {
+		tr = append(tr, Record{Offset: 8192, Size: 4096, Write: false})
+		tr = append(tr, Record{Offset: 8192, Size: 4096, Write: true})
+	}
+	c := ClassifyPages(tr, 4096, 0.9)
+	if c.Pages[ClassRI] != 1 || c.Pages[ClassWI] != 1 || c.Pages[ClassMIX] != 1 {
+		t.Fatalf("page classes: %+v", c.Pages)
+	}
+	if got := c.ReadShare(ClassRI); got != 10.0/15.0 {
+		t.Fatalf("ReadShare(RI) = %v", got)
+	}
+	if got := c.WriteShare(ClassWI); got != 10.0/15.0 {
+		t.Fatalf("WriteShare(WI) = %v", got)
+	}
+	if ClassRI.String() != "RI" || ClassWI.String() != "WI" || ClassMIX.String() != "MIX" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func TestClassifyMultiPageRecord(t *testing.T) {
+	tr := Trace{{Offset: 0, Size: 8192, Write: false}} // touches pages 0 and 1
+	c := ClassifyPages(tr, 4096, 0.9)
+	if c.Pages[ClassRI] != 2 || c.Reads != 2 {
+		t.Fatalf("classification: %+v", c)
+	}
+}

@@ -1,0 +1,123 @@
+package gcsteering
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Results aggregates everything one run measures.
+type Results struct {
+	// Scheme and Staging identify the configuration.
+	Scheme  Scheme
+	Staging StagingKind
+
+	// Latency summarizes response times over all requests; ReadLatency
+	// and WriteLatency split by direction. All values are nanoseconds.
+	Latency      LatencySummary
+	ReadLatency  LatencySummary
+	WriteLatency LatencySummary
+
+	// GCEpisodes and Erases sum device GC activity over the run;
+	// GGCForced counts episodes forced by global coordination.
+	GCEpisodes int64
+	Erases     int64
+	GGCForced  int64
+	// ForcedEpisodes counts device GC episodes initiated by ForceGC.
+	ForcedEpisodes int64
+	// GCWallTime sums, over devices, the wall-clock time spent in the GC
+	// state; Duration is the run's total simulated time. Their ratio
+	// divided by the device count is the mean per-device GC duty cycle.
+	GCWallTime Time
+	Duration   Time
+	// WriteAmp is the mean FTL write amplification across members.
+	WriteAmp float64
+
+	// Steering carries the redirector counters (zero for baselines);
+	// RedirectRatio is the fraction of GC-period pages that dodged a
+	// collecting disk.
+	Steering      SteeringStats
+	RedirectRatio float64
+
+	// RebuildDuration is non-zero for ReplayDuringRebuild runs.
+	RebuildDuration Time
+
+	// VariabilityCV is the coefficient of variation of per-100 ms-window
+	// mean response times — the paper's Figure 1 "performance variability"
+	// as one number. Timeline is an ASCII profile of the same windows.
+	VariabilityCV float64
+	Timeline      string
+
+	// Wear summarizes endurance: per-block erase counts across members.
+	// GC schemes that erase more (GGC's forced collections) age the flash
+	// faster — the reliability angle of §II-A.
+	Wear WearStats
+}
+
+// WearStats aggregates per-block erase counts across all member SSDs.
+type WearStats struct {
+	MaxErase  int
+	MeanErase float64
+}
+
+// results snapshots the system state into a Results.
+func (s *System) results() *Results {
+	r := &Results{
+		Scheme:       s.cfg.Scheme,
+		Staging:      s.cfg.Staging,
+		Latency:      s.lat.Summarize(),
+		ReadLatency:  s.readLat.Summarize(),
+		WriteLatency: s.writeLat.Summarize(),
+	}
+	r.Duration = s.eng.Now()
+	r.VariabilityCV = s.timeline.VariabilityCV()
+	r.Timeline = s.timeline.Sparkline(60)
+	var wa float64
+	for _, d := range s.devs {
+		st := d.Stats()
+		r.GCEpisodes += st.GCEpisodes
+		r.Erases += st.Erases
+		r.ForcedEpisodes += st.ForcedGCs
+		r.GCWallTime += st.GCWallTime
+		wa += d.WriteAmplification()
+		max, mean := d.Wear()
+		if max > r.Wear.MaxErase {
+			r.Wear.MaxErase = max
+		}
+		r.Wear.MeanErase += mean / float64(len(s.devs))
+	}
+	r.WriteAmp = wa / float64(len(s.devs))
+	if s.ggc != nil {
+		r.GGCForced = s.ggc.Triggered
+	}
+	if s.steer != nil {
+		r.Steering = s.steer.Stats()
+		r.RedirectRatio = s.steer.RedirectRatio()
+	}
+	return r
+}
+
+// GCDuty returns the mean per-device fraction of the run spent in GC.
+func (r *Results) GCDuty(devices int) float64 {
+	if r.Duration <= 0 || devices <= 0 {
+		return 0
+	}
+	return float64(r.GCWallTime) / float64(r.Duration) / float64(devices)
+}
+
+// String renders a compact single-run report.
+func (r *Results) String() string {
+	var b strings.Builder
+	name := r.Scheme.String()
+	if r.Scheme == SchemeSteering {
+		name += "/" + r.Staging.String()
+	}
+	fmt.Fprintf(&b, "%-22s mean=%9.1fµs p99=%9.1fµs gc=%d erases=%d wa=%.2f",
+		name, r.Latency.Mean/1e3, float64(r.Latency.P99)/1e3, r.GCEpisodes, r.Erases, r.WriteAmp)
+	if r.Scheme == SchemeSteering {
+		fmt.Fprintf(&b, " redirect=%.1f%%", 100*r.RedirectRatio)
+	}
+	if r.RebuildDuration > 0 {
+		fmt.Fprintf(&b, " rebuild=%v", r.RebuildDuration)
+	}
+	return b.String()
+}

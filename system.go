@@ -1,0 +1,417 @@
+package gcsteering
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gcsteering/internal/core"
+	"gcsteering/internal/metrics"
+	"gcsteering/internal/raid"
+	"gcsteering/internal/rebuild"
+	"gcsteering/internal/sched"
+	"gcsteering/internal/sim"
+	"gcsteering/internal/ssd"
+	"gcsteering/internal/trace"
+	"gcsteering/internal/workload"
+)
+
+// Trace and Record re-export the trace model for the public API.
+type (
+	// Trace is an ordered sequence of I/O requests.
+	Trace = trace.Trace
+	// Record is one I/O request.
+	Record = trace.Record
+	// Profile is a synthetic workload description.
+	Profile = workload.Profile
+	// LatencySummary holds response-time statistics (nanoseconds).
+	LatencySummary = metrics.Summary
+	// SteeringStats exposes the redirector's counters.
+	SteeringStats = core.Stats
+	// Time is a simulated instant/duration in nanoseconds.
+	Time = sim.Time
+)
+
+// Profiles returns the paper's eight Table I workload profiles.
+func Profiles() []Profile { return workload.All() }
+
+// ProfileByName returns the named Table I profile.
+func ProfileByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// System is one assembled storage system: an engine, the member SSDs, the
+// RAID array, the selected GC scheme, and (for SchemeSteering) the
+// steering controller and staging space.
+type System struct {
+	cfg Config
+
+	eng   *sim.Engine
+	devs  []*ssd.Device
+	disks []raid.Disk
+	arr   *raid.Array
+	hub   *sched.Hub
+	ggc   *sched.GGC
+	steer *core.Steering
+	spare *ssd.Device // dedicated staging and/or rebuild spare
+
+	lat      metrics.Hist
+	readLat  metrics.Hist
+	writeLat metrics.Hist
+	timeline *metrics.TimeSeries
+	inFlight int
+
+	// measuring gates response-time recording; ReplayDuringRebuild stops
+	// recording when reconstruction completes so the results describe the
+	// recovery period, as the paper's Fig. 11 does.
+	measuring       bool
+	rebuildActive   bool
+	rebuildDuration sim.Time
+}
+
+// New builds and warms up a system.
+func New(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:      cfg,
+		eng:      sim.NewEngine(),
+		timeline: metrics.NewTimeSeries(int64(100 * sim.Millisecond)),
+	}
+	devCfg := ssd.Config{
+		Geometry:        cfg.Flash,
+		Latency:         cfg.Latency,
+		GCLowWater:      cfg.GCLowWater,
+		GCHighWater:     cfg.GCHighWater,
+		ForcedGCVictims: cfg.ForcedGCVictims,
+		GCOverhead:      sim.Time(cfg.GCOverheadMs * float64(sim.Millisecond)),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Disks; i++ {
+		d, err := ssd.New(i, s.eng, devCfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ColdStreamStaging {
+			d.SetColdBoundary(cfg.diskPages()) // reserved region on a separate stream
+		}
+		d.Prefill(rand.New(rand.NewSource(rng.Int63())), cfg.PrefillOverwrite, cfg.diskPages())
+		s.devs = append(s.devs, d)
+		s.disks = append(s.disks, d)
+	}
+	lay := raid.Layout{
+		Level:     cfg.Level,
+		Disks:     cfg.Disks,
+		UnitPages: cfg.unitPages(),
+		DiskPages: cfg.diskPages(),
+	}
+	arr, err := raid.NewArray(s.eng, lay, s.disks)
+	if err != nil {
+		return nil, err
+	}
+	s.arr = arr
+	s.hub = sched.NewHub(s.devs)
+
+	switch cfg.Scheme {
+	case SchemeLGC:
+		sched.LGC{}.Attach(s.hub)
+	case SchemeGGC:
+		s.ggc = &sched.GGC{}
+		s.ggc.Attach(s.hub)
+	case SchemeSteering:
+		staging, err := s.buildStaging(rng)
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.New(s.eng, arr, staging, core.Config{
+			HotFrac:            cfg.HotFrac,
+			MigrateHotReads:    cfg.MigrateHotReads,
+			ReclaimMerge:       cfg.ReclaimMerge,
+			MigrateThreshold:   cfg.MigrateThreshold,
+			ScanThresholdPages: cfg.ScanThresholdPages,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.steer = st
+		if cfg.DisableGCAwareWrites {
+			arr.GCAwareWrites = false
+		}
+		s.hub.SubscribeEnd(func(now sim.Time, d *ssd.Device) { st.OnDeviceGCEnd(now, d.ID) })
+	default:
+		return nil, fmt.Errorf("gcsteering: unknown scheme %v", cfg.Scheme)
+	}
+	return s, nil
+}
+
+// rebuildReservePages is the slice at the top of each member's reserved
+// region set aside for parallel reconstruction (it must not collide with
+// the staging allocator's slots). It is large enough to hold an equal
+// share of a failed member's contents when the reservation allows,
+// otherwise capped at two thirds of the reservation.
+func (s *System) rebuildReservePages() int {
+	reserved := s.cfg.Flash.LogicalPages() - s.cfg.diskPages()
+	if s.cfg.Scheme != SchemeSteering || s.cfg.Staging != StagingReserved {
+		return 0
+	}
+	unit := s.cfg.unitPages()
+	need := (s.cfg.diskPages()/(s.cfg.Disks-1)/unit + 1) * unit
+	if max := reserved * 2 / 3; need > max {
+		need = max
+	}
+	return need
+}
+
+// buildStaging assembles the configured staging space.
+func (s *System) buildStaging(rng *rand.Rand) (core.Staging, error) {
+	switch s.cfg.Staging {
+	case StagingReserved:
+		reserved := s.cfg.Flash.LogicalPages() - s.cfg.diskPages()
+		reserved -= s.rebuildReservePages()
+		return core.NewReservedStaging(s.disks, s.cfg.diskPages(), reserved, s.cfg.StagingReadFrac)
+	case StagingDedicated:
+		spare, err := s.ensureSpare(rng.Int63())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewDedicatedStaging(spare, s.cfg.StagingReadFrac)
+	default:
+		return nil, fmt.Errorf("gcsteering: unknown staging kind %v", s.cfg.Staging)
+	}
+}
+
+// ensureSpare lazily creates the spare SSD.
+func (s *System) ensureSpare(seed int64) (*ssd.Device, error) {
+	if s.spare != nil {
+		return s.spare, nil
+	}
+	devCfg := ssd.Config{
+		Geometry:        s.cfg.Flash,
+		Latency:         s.cfg.Latency,
+		GCLowWater:      s.cfg.GCLowWater,
+		GCHighWater:     s.cfg.GCHighWater,
+		ForcedGCVictims: s.cfg.ForcedGCVictims,
+		GCOverhead:      sim.Time(s.cfg.GCOverheadMs * float64(sim.Millisecond)),
+	}
+	spare, err := ssd.New(s.cfg.Disks, s.eng, devCfg)
+	if err != nil {
+		return nil, err
+	}
+	// The spare starts fresh: it holds no host data until it is used as a
+	// staging space or a rebuild target.
+	spare.SetColdBoundary(0)
+	spare.Prefill(rand.New(rand.NewSource(seed)), 0, 0)
+	s.spare = spare
+	return spare, nil
+}
+
+// Capacity returns the array's logical capacity in bytes; generated
+// workloads should target it.
+func (s *System) Capacity() int64 {
+	return int64(s.arr.Layout().LogicalPages()) * int64(s.cfg.Flash.PageSize)
+}
+
+// GenerateWorkload synthesizes up to maxRequests of the named Table I
+// profile sized to this system's capacity (maxRequests <= 0 keeps the full
+// published request count).
+func (s *System) GenerateWorkload(profile string, maxRequests int) (Trace, error) {
+	p, ok := workload.ByName(profile)
+	if !ok {
+		return nil, fmt.Errorf("gcsteering: unknown profile %q (have %v)", profile, workload.Names())
+	}
+	return workload.Generate(p, workload.Options{
+		Capacity:    s.Capacity(),
+		MaxRequests: maxRequests,
+		Seed:        s.cfg.Seed + 7,
+	})
+}
+
+// submit issues one request to the array and records its response time.
+func (s *System) submit(now sim.Time, r Record) {
+	page, pages := r.PageView(s.cfg.Flash.PageSize)
+	total := s.arr.Layout().LogicalPages()
+	if pages > total {
+		pages = total
+	}
+	if page+pages > total {
+		page = total - pages
+	}
+	s.inFlight++
+	record := s.measuring
+	done := func(t sim.Time) {
+		s.inFlight--
+		if !record {
+			return
+		}
+		d := int64(t - now)
+		s.lat.Observe(d)
+		s.timeline.Observe(int64(now), d)
+		if r.Write {
+			s.writeLat.Observe(d)
+		} else {
+			s.readLat.Observe(d)
+		}
+	}
+	if r.Write {
+		s.arr.Write(now, page, pages, done)
+	} else {
+		s.arr.Read(now, page, pages, done)
+	}
+}
+
+// Replay drives the trace through the system open-loop (arrivals at trace
+// timestamps) and runs to quiescence, returning the measured results.
+// Replay may be called once per System; build a fresh System per run.
+func (s *System) Replay(tr Trace) (*Results, error) {
+	if err := trace.Validate(tr); err != nil {
+		return nil, err
+	}
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("gcsteering: empty trace")
+	}
+	s.measuring = true
+	s.scheduleArrivals(tr)
+	s.eng.Run()
+	s.drainSteering()
+	return s.results(), nil
+}
+
+// scheduleArrivals streams the trace into the engine one arrival at a
+// time (scheduling all arrivals up front would bloat the event heap).
+func (s *System) scheduleArrivals(tr Trace) {
+	base := s.eng.Now()
+	var next func(i int) func(sim.Time)
+	next = func(i int) func(sim.Time) {
+		return func(now sim.Time) {
+			s.submit(now, tr[i])
+			if i+1 < len(tr) {
+				s.eng.At(base+tr[i+1].Timestamp, next(i+1))
+			}
+		}
+	}
+	s.eng.At(base+tr[0].Timestamp, next(0))
+}
+
+// drainSteering flushes redirected write data back after the run so the
+// system ends consistent.
+func (s *System) drainSteering() {
+	if s.steer == nil {
+		return
+	}
+	s.steer.DrainAll(s.eng.Now())
+	s.eng.Run()
+}
+
+// RebuildTarget selects where reconstruction writes the regenerated data.
+type RebuildTarget int
+
+const (
+	// RebuildToSpare writes to a dedicated replacement SSD (the
+	// traditional workflow, used by the baselines and by GC-Steering
+	// Dedicated in Fig. 11).
+	RebuildToSpare RebuildTarget = iota
+	// RebuildToReserved writes in parallel into the reserved space of the
+	// survivors (GC-Steering Reserved's parallel reconstruction).
+	RebuildToReserved
+)
+
+// ReplayDuringRebuild fails member failDisk at time zero, starts
+// reconstruction at bandwidthMBps into the selected target, and replays
+// the trace concurrently. The returned results carry the user-visible
+// response times during recovery plus the rebuild duration.
+func (s *System) ReplayDuringRebuild(tr Trace, failDisk int, bandwidthMBps float64, target RebuildTarget) (*Results, error) {
+	if err := trace.Validate(tr); err != nil {
+		return nil, err
+	}
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("gcsteering: empty trace")
+	}
+	if err := s.arr.FailDisk(failDisk); err != nil {
+		return nil, err
+	}
+	var sink rebuild.Sink
+	switch target {
+	case RebuildToSpare:
+		spare, err := s.ensureSpare(s.cfg.Seed + 13)
+		if err != nil {
+			return nil, err
+		}
+		sink = &rebuild.SpareSink{Disk: spare}
+	case RebuildToReserved:
+		var survivors []raid.Disk
+		for d, disk := range s.disks {
+			if d != failDisk {
+				survivors = append(survivors, disk)
+			}
+		}
+		reserve := s.rebuildReservePages()
+		if reserve < s.arr.Layout().UnitPages {
+			return nil, fmt.Errorf("gcsteering: no reserved space for parallel rebuild (configure reserved staging with a large enough ReservedFrac)")
+		}
+		base := s.cfg.Flash.LogicalPages() - reserve
+		var err error
+		sink, err = rebuild.NewReservedSink(survivors, base, reserve)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("gcsteering: unknown rebuild target %v", target)
+	}
+	rb, err := rebuild.New(s.eng, s.arr, sink, bandwidthMBps, s.cfg.Flash.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	reclaimFirst := false
+	if s.steer != nil {
+		s.steer.SetFailedHome(failDisk)
+		if s.cfg.Staging == StagingReserved {
+			// The failed member's staged copies are gone with it.
+			s.steer.Staging().SetUnavailable(failDisk)
+			s.steer.DropStagedOn(int32(failDisk))
+		}
+		// §III-D case ②: when the staging space acts as the replacement,
+		// previously redirected write data is reclaimed back before the
+		// reconstruction starts.
+		reclaimFirst = target == RebuildToReserved && s.steer.DTable().WriteLen() > 0
+	}
+	start := s.eng.Now()
+	s.rebuildActive = true
+	rb.OnComplete = func(now sim.Time) {
+		s.rebuildDuration = now - start
+		s.rebuildActive = false
+		// Stop recording: Fig. 11 reports the response time *during* the
+		// reconstruction, not the quiet period after it.
+		s.measuring = false
+		if s.steer != nil {
+			s.steer.Staging().SetUnavailable(-1)
+			s.steer.SetFailedHome(-1)
+			s.steer.SetRebuilding(now, false)
+		}
+	}
+	s.measuring = true
+	if reclaimFirst {
+		s.steer.DrainAll(start)
+		var await func(now sim.Time)
+		await = func(now sim.Time) {
+			if s.steer.Draining() {
+				s.eng.After(sim.Millisecond, await)
+				return
+			}
+			s.steer.SetRebuilding(now, true)
+			rb.Start(now)
+		}
+		s.eng.Defer(await)
+	} else {
+		if s.steer != nil {
+			s.steer.SetRebuilding(start, true)
+		}
+		rb.Start(start)
+	}
+	s.scheduleArrivals(tr)
+	s.eng.Run()
+	s.drainSteering()
+	res := s.results()
+	res.RebuildDuration = s.rebuildDuration
+	return res, nil
+}
+
+// Now returns the engine clock (mainly for tests and custom drivers).
+func (s *System) Now() Time { return s.eng.Now() }

@@ -1,0 +1,263 @@
+package gcsteering
+
+import (
+	"testing"
+
+	"gcsteering/internal/core"
+)
+
+// Helpers bridging the white-box tests to internal/core types.
+func corePageKey(disk, page int32) core.PageKey {
+	return core.PageKey{Disk: disk, Page: page}
+}
+
+func coreStageLoc(dev, page int32) core.StageLoc {
+	return core.StageLoc{Dev0: dev, Page0: page, Dev1: core.NoMirror}
+}
+
+// smallConfig shrinks the flash geometry so facade tests run fast.
+func smallConfig(scheme Scheme) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Flash.Blocks = 128
+	cfg.Flash.PagesPerBlock = 64
+	cfg.Flash.OverProvision = 0.20
+	cfg.GCLowWater = 4
+	cfg.GCHighWater = 10
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Disks = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("1 disk accepted")
+	}
+	bad = cfg
+	bad.StripeUnitKB = 3 // not a page multiple
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-page stripe unit accepted")
+	}
+	bad = cfg
+	bad.ReservedFrac = 0.9
+	if err := bad.Validate(); err == nil {
+		t.Fatal("huge reservation accepted")
+	}
+	bad = cfg
+	bad.Scheme = SchemeSteering
+	bad.Staging = StagingReserved
+	bad.ReservedFrac = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("reserved staging without reservation accepted")
+	}
+}
+
+func TestSchemeAndStagingStrings(t *testing.T) {
+	if SchemeLGC.String() != "LGC" || SchemeGGC.String() != "GGC" || SchemeSteering.String() != "GC-Steering" {
+		t.Fatal("scheme names")
+	}
+	if StagingReserved.String() != "Reserved" || StagingDedicated.String() != "Dedicated" {
+		t.Fatal("staging names")
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	if len(Profiles()) != 8 {
+		t.Fatalf("%d profiles", len(Profiles()))
+	}
+	if _, ok := ProfileByName("HPC_W"); !ok {
+		t.Fatal("HPC_W missing")
+	}
+}
+
+func TestReplayAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{SchemeLGC, SchemeGGC, SchemeSteering} {
+		sys, err := New(smallConfig(scheme))
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		tr, err := sys.GenerateWorkload("Fin1", 3000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Replay(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Latency.Count != 3000 {
+			t.Fatalf("%v: %d responses, want 3000", scheme, res.Latency.Count)
+		}
+		if res.Latency.Mean <= 0 {
+			t.Fatalf("%v: zero mean latency", scheme)
+		}
+		if res.ReadLatency.Count+res.WriteLatency.Count != res.Latency.Count {
+			t.Fatalf("%v: split latencies do not add up", scheme)
+		}
+		if scheme == SchemeSteering && res.Steering.RedirectedWrites == 0 && res.GCEpisodes > 0 {
+			t.Fatalf("%v: GC happened but nothing was steered", scheme)
+		}
+		if res.String() == "" {
+			t.Fatal("empty report")
+		}
+	}
+}
+
+func TestGenerateWorkloadUnknownProfile(t *testing.T) {
+	sys, err := New(smallConfig(SchemeLGC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.GenerateWorkload("nope", 10); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestReplayRejectsEmptyAndInvalid(t *testing.T) {
+	sys, err := New(smallConfig(SchemeLGC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Replay(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	bad := Trace{{Timestamp: 5, Size: 4096}, {Timestamp: 1, Size: 4096}}
+	if _, err := sys.Replay(bad); err == nil {
+		t.Fatal("unordered trace accepted")
+	}
+}
+
+func TestReplayDuringRebuildBothTargets(t *testing.T) {
+	for _, tc := range []struct {
+		scheme Scheme
+		target RebuildTarget
+	}{
+		{SchemeLGC, RebuildToSpare},
+		{SchemeSteering, RebuildToReserved},
+		{SchemeSteering, RebuildToSpare},
+	} {
+		cfg := smallConfig(tc.scheme)
+		if tc.scheme == SchemeSteering && tc.target == RebuildToSpare {
+			cfg.Staging = StagingDedicated
+		}
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sys.GenerateWorkload("hm_0", 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.ReplayDuringRebuild(tr, 2, 10, tc.target)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", tc.scheme, tc.target, err)
+		}
+		// Only requests arriving during the reconstruction window are
+		// measured (Fig. 11 semantics), so the count is bounded by, and
+		// usually below, the trace length.
+		if res.Latency.Count == 0 || res.Latency.Count > 2000 {
+			t.Fatalf("%v/%v: %d responses", tc.scheme, tc.target, res.Latency.Count)
+		}
+		if res.RebuildDuration <= 0 {
+			t.Fatalf("%v/%v: rebuild never completed", tc.scheme, tc.target)
+		}
+	}
+}
+
+func TestReplayDuringRebuildValidation(t *testing.T) {
+	sys, err := New(smallConfig(SchemeLGC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := sys.GenerateWorkload("hm_0", 100)
+	if _, err := sys.ReplayDuringRebuild(tr, 99, 10, RebuildToSpare); err == nil {
+		t.Fatal("bad disk id accepted")
+	}
+	if _, err := sys.ReplayDuringRebuild(nil, 0, 10, RebuildToSpare); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() float64 {
+		sys, err := New(smallConfig(SchemeSteering))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sys.GenerateWorkload("mds_0", 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Replay(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Latency.Mean
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+// TestReclaimFirstBeforeParallelRebuild exercises the paper's §III-D case
+// ②: when the staging space serves as the replacement, previously
+// redirected write data is reclaimed before reconstruction begins.
+func TestReclaimFirstBeforeParallelRebuild(t *testing.T) {
+	sys, err := New(smallConfig(SchemeSteering))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed the staging space with redirected write data: force GC on a
+	// member and write through the array while it collects.
+	sys.devs[1].ForceGC(sys.eng.Now())
+	sys.measuring = true
+	for p := 0; p < 8; p++ {
+		sys.submit(sys.eng.Now(), Record{Offset: int64(p) * 4096, Size: 4096, Write: true})
+	}
+	sys.eng.RunFor(2_000_000) // 2ms: writes land, GC still in flight
+	if sys.steer.DTable().WriteLen() == 0 {
+		t.Skip("no writes were staged in this layout; nothing to exercise")
+	}
+	tr, err := sys.GenerateWorkload("wdev_0", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.ReplayDuringRebuild(tr, 2, 20, RebuildToReserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebuildDuration <= 0 {
+		t.Fatal("rebuild never completed")
+	}
+	// After the run everything must be reclaimed (drain on completion).
+	if got := sys.steer.DTable().WriteLen(); got != 0 {
+		t.Fatalf("%d write entries left after rebuild + drain", got)
+	}
+}
+
+// TestFailedHomeEntriesKeptDuringRebuild: write entries homed on the failed
+// member must survive the rebuild-time drains (their home is gone) and
+// still be served from staging.
+func TestFailedHomeNotReclaimedWhileDown(t *testing.T) {
+	sys, err := New(smallConfig(SchemeSteering))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.steer.SetFailedHome(3)
+	// Draining() must ignore entries homed on member 3.
+	sys.steer.DTable().Put(
+		corePageKey(3, 10),
+		coreStageLoc(0, 99),
+		true,
+	)
+	if sys.steer.Draining() {
+		t.Fatal("entries on the failed home counted as reclaimable")
+	}
+	sys.steer.SetFailedHome(-1)
+	if !sys.steer.Draining() {
+		t.Fatal("entry not reclaimable after the member returned")
+	}
+}
