@@ -7,10 +7,15 @@
 //
 // Experiments: table1, fig1 (variability timeline), fig2, fig7a, fig7b (an
 // alias of fig7a's run that highlights GC counts), fig8, fig9, fig10,
-// fig11, raid6 (the future-work extension), endurance, all.
+// fig11, raid6 (the future-work extension), endurance, faults (the
+// reliability grid under injected failures), all.
+//
+// -json <path> additionally writes the machine-readable results of the run
+// (every grid's full metric tables) to the given file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,93 +24,116 @@ import (
 	"gcsteering/internal/harness"
 )
 
+// experimentOut is one experiment's result in the -json document: grid
+// experiments carry their metric tables, text experiments their rendering.
+type experimentOut struct {
+	Name string        `json:"name"`
+	Text string        `json:"text,omitempty"`
+	Grid *harness.Grid `json:"grid,omitempty"`
+}
+
+// jsonDoc is the top-level -json document.
+type jsonDoc struct {
+	Requests    int             `json:"requests"`
+	Seed        int64           `json:"seed"`
+	Repeats     int             `json:"repeats"`
+	Experiments []experimentOut `json:"experiments"`
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|all")
+		experiment = flag.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|all")
 		requests   = flag.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
 		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		seed       = flag.Int64("seed", 0, "seed offset for replication")
 		repeats    = flag.Int("repeats", 1, "average each cell over this many seeds")
+		jsonPath   = flag.String("json", "", "also write results as JSON to this file")
 	)
 	flag.Parse()
 	o := harness.Options{MaxRequests: *requests, Workers: *workers, Seed: *seed, Repeats: *repeats}
+	doc := jsonDoc{Requests: *requests, Seed: *seed, Repeats: *repeats}
 
-	run := func(name string) error {
+	// Each experiment renders to stdout and returns its -json entry.
+	run := func(name string) (experimentOut, error) {
+		out := experimentOut{Name: name}
+		text := func(s string, err error) error {
+			if err != nil {
+				return err
+			}
+			fmt.Print(s)
+			out.Text = s
+			return nil
+		}
+		grid := func(g *harness.Grid, err error, base string) error {
+			if err != nil {
+				return err
+			}
+			fmt.Print(g.Render(base))
+			out.Grid = g
+			return nil
+		}
+		var err error
 		switch name {
 		case "fig1":
-			s, err := harness.Fig1(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(s)
+			err = text(harness.Fig1(o))
 		case "endurance":
-			s, err := harness.Endurance(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(s)
+			err = text(harness.Endurance(o))
 		case "table1":
-			s, err := harness.Table1(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(s)
+			err = text(harness.Table1(o))
 		case "fig2":
-			s, err := harness.Fig2(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(s)
+			err = text(harness.Fig2(o))
 		case "fig7a", "fig7b", "fig7":
-			g, err := harness.Fig7(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render("LGC"))
+			g, e := harness.Fig7(o)
+			err = grid(g, e, "LGC")
 		case "fig8":
-			g, err := harness.Fig8(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render("5 SSDs"))
+			g, e := harness.Fig8(o)
+			err = grid(g, e, "5 SSDs")
 		case "fig9":
-			g, err := harness.Fig9(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render("64KB"))
+			g, e := harness.Fig9(o)
+			err = grid(g, e, "64KB")
 		case "fig10":
-			g, err := harness.Fig10(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render("Reserved"))
+			g, e := harness.Fig10(o)
+			err = grid(g, e, "Reserved")
 		case "fig11":
-			g, err := harness.Fig11(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render(""))
+			g, e := harness.Fig11(o)
+			err = grid(g, e, "")
 		case "raid6":
-			g, err := harness.RAID6(o)
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render("LGC"))
+			g, e := harness.RAID6(o)
+			err = grid(g, e, "LGC")
+		case "faults":
+			g, e := harness.Faults(o)
+			err = grid(g, e, "")
 		default:
-			return fmt.Errorf("unknown experiment %q", name)
+			err = fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return out, err
 		}
 		fmt.Println()
-		return nil
+		return out, nil
 	}
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig7a", "fig8", "fig9", "fig10", "fig11", "raid6", "endurance"}
+		names = []string{"table1", "fig1", "fig2", "fig7a", "fig8", "fig9", "fig10", "fig11", "raid6", "endurance", "faults"}
 	}
 	for _, n := range names {
-		if err := run(strings.ToLower(n)); err != nil {
+		out, err := run(strings.ToLower(n))
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "gcsbench: %v\n", err)
+			os.Exit(1)
+		}
+		doc.Experiments = append(doc.Experiments, out)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcsbench: encode json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "gcsbench: write %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
 	}

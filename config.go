@@ -24,8 +24,10 @@ package gcsteering
 import (
 	"fmt"
 
+	"gcsteering/internal/fault"
 	"gcsteering/internal/flash"
 	"gcsteering/internal/raid"
+	"gcsteering/internal/sim"
 	"gcsteering/internal/ssd"
 )
 
@@ -153,6 +155,90 @@ type Config struct {
 	PrefillOverwrite float64
 	// Seed makes the whole simulation deterministic.
 	Seed int64
+
+	// Fault configures deterministic fault injection, executed only by
+	// System.ReplayWithFaults. The zero value injects nothing.
+	Fault FaultPlan
+}
+
+// DiskFault schedules one whole-device failure for fault-injected runs.
+type DiskFault struct {
+	// Disk is the member index to fail.
+	Disk int
+	// AtMs is the injection instant in milliseconds of simulated time.
+	AtMs float64
+}
+
+// DiskSlowdown is a transient latency spike on one device: every page op
+// on the affected channels pays ExtraPerOpUs on top of its service time
+// while the window is open. A window spanning the run models a fail-slow
+// device; a short one models an externally-observed GC storm.
+type DiskSlowdown struct {
+	Disk int
+	// Channel restricts the spike to one flash channel; -1 hits them all.
+	Channel    int
+	StartMs    float64
+	DurationMs float64
+	// ExtraPerOpUs is the added service time per page op, in microseconds.
+	ExtraPerOpUs float64
+}
+
+// FaultPlan configures deterministic fault injection for one run: device
+// failures at scheduled instants, latent sector errors (unrecoverable read
+// errors) at a per-page rate, latency spikes, and automatic
+// repair-and-rebuild. All randomness derives from the run's Seed, so a
+// fault-injected run is exactly as reproducible as a healthy one.
+type FaultPlan struct {
+	// Failures are whole-device losses. A failure the RAID level cannot
+	// absorb is recorded as an array failure (data loss) in the results.
+	Failures []DiskFault
+	// Slowdowns perturb the device op path while their windows are open.
+	Slowdowns []DiskSlowdown
+	// UREPerPageRead is the probability that reading one page surfaces a
+	// latent sector error. Use simulation-scale rates (1e-5 .. 1e-3); real
+	// drives quote ~1 per 1e14-1e16 bits, far too rare for short traces.
+	UREPerPageRead float64
+	// RepairDelayMs is the hot-spare activation lag between a failure and
+	// the automatic rebuild start.
+	RepairDelayMs float64
+	// RebuildMBps caps the automatic rebuild bandwidth; <= 0 disables the
+	// rebuild and leaves the array degraded.
+	RebuildMBps float64
+	// RebuildTarget selects the reconstruction workflow: a dedicated spare
+	// or the survivors' reserved space (GC-Steering's parallel workflow).
+	RebuildTarget RebuildTarget
+}
+
+// Enabled reports whether the plan injects anything.
+func (p FaultPlan) Enabled() bool {
+	return len(p.Failures) > 0 || len(p.Slowdowns) > 0 || p.UREPerPageRead > 0
+}
+
+// plan lowers the public spec (milliseconds, microseconds) to the internal
+// fault schedule (engine nanoseconds), deriving the URE streams from seed.
+func (p FaultPlan) plan(seed int64) fault.Plan {
+	out := fault.Plan{
+		UREPerPageRead: p.UREPerPageRead,
+		RepairDelay:    sim.Time(p.RepairDelayMs * float64(sim.Millisecond)),
+		RebuildMBps:    p.RebuildMBps,
+		Seed:           seed,
+	}
+	for _, f := range p.Failures {
+		out.Failures = append(out.Failures, fault.DiskFailure{
+			Disk: f.Disk,
+			At:   sim.Time(f.AtMs * float64(sim.Millisecond)),
+		})
+	}
+	for _, s := range p.Slowdowns {
+		out.Slowdowns = append(out.Slowdowns, fault.Slowdown{
+			Disk:     s.Disk,
+			Channel:  s.Channel,
+			Start:    sim.Time(s.StartMs * float64(sim.Millisecond)),
+			Duration: sim.Time(s.DurationMs * float64(sim.Millisecond)),
+			Extra:    sim.Time(s.ExtraPerOpUs * float64(sim.Microsecond)),
+		})
+	}
+	return out
 }
 
 // DefaultConfig mirrors the paper's main setup: RAID5 over 5 SSDs with a
@@ -208,6 +294,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("gcsteering: reserved staging needs ReservedFrac > 0")
 	}
 	if err := c.Flash.Validate(); err != nil {
+		return err
+	}
+	if err := c.Fault.plan(c.Seed).Validate(c.Disks); err != nil {
 		return err
 	}
 	return nil

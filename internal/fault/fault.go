@@ -1,0 +1,165 @@
+// Package fault implements deterministic fault injection for the simulated
+// SSD array: an event-scheduled plan of whole-device failures, latent
+// sector errors (unrecoverable read errors) drawn from per-device RNGs,
+// and transient per-channel latency spikes (externally-observed "GC
+// storms" and fail-slow devices), plus a controller that executes the plan
+// against a live array and triggers automatic repair-and-rebuild through
+// internal/rebuild.
+//
+// Everything is driven by the simulation engine and seeded from the run's
+// seed, so a fault-injected experiment is exactly as reproducible as a
+// healthy one — the property that turns reliability claims (window of
+// vulnerability, degraded-mode latency, rebuild time) into scheduled,
+// repeatable measurements instead of ad-hoc test code.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gcsteering/internal/sim"
+	"gcsteering/internal/ssd"
+)
+
+// DiskFailure schedules one whole-device failure.
+type DiskFailure struct {
+	Disk int      // member index
+	At   sim.Time // simulated instant of the failure
+}
+
+// Slowdown is a transient latency spike on one device: every page op on
+// the affected channels pays Extra on top of its service time while
+// [Start, Start+Duration) is in effect. A window spanning the whole run
+// models a fail-slow device; a short window models an externally-observed
+// GC storm or firmware hiccup.
+type Slowdown struct {
+	Disk     int
+	Channel  int // -1 applies to every channel of the device
+	Start    sim.Time
+	Duration sim.Time
+	Extra    sim.Time // extra service time per page op
+}
+
+// Plan is a deterministic fault schedule for one run.
+type Plan struct {
+	// Failures are injected at their scheduled instants, in time order.
+	// A failure the layout cannot absorb (beyond its fault tolerance) is
+	// recorded as an array failure — data loss — instead of panicking the
+	// simulation.
+	Failures []DiskFailure
+	// Slowdowns perturb the device op path while their windows are open.
+	Slowdowns []Slowdown
+	// UREPerPageRead is the probability that reading one page surfaces a
+	// latent sector error. Real drives quote one unrecoverable error per
+	// 1e14–1e16 bits read; simulation-scale experiments use much larger
+	// values so the rare event actually occurs within a short trace.
+	UREPerPageRead float64
+	// RepairDelay is the hot-spare activation lag between a failure and
+	// the automatic rebuild start.
+	RepairDelay sim.Time
+	// RebuildMBps caps reconstruction bandwidth. Zero or negative disables
+	// automatic rebuild: the array stays degraded.
+	RebuildMBps float64
+	// Seed derives the per-device RNG streams for URE draws.
+	Seed int64
+}
+
+// Empty reports whether the plan injects nothing at all.
+func (p Plan) Empty() bool {
+	return len(p.Failures) == 0 && len(p.Slowdowns) == 0 && p.UREPerPageRead <= 0
+}
+
+// Validate reports plan errors against an array of n member disks.
+func (p Plan) Validate(n int) error {
+	for _, f := range p.Failures {
+		if f.Disk < 0 || f.Disk >= n {
+			return fmt.Errorf("fault: failure targets disk %d of %d", f.Disk, n)
+		}
+		if f.At < 0 {
+			return fmt.Errorf("fault: failure of disk %d at negative time %v", f.Disk, f.At)
+		}
+	}
+	for _, s := range p.Slowdowns {
+		if s.Disk < 0 || s.Disk >= n {
+			return fmt.Errorf("fault: slowdown targets disk %d of %d", s.Disk, n)
+		}
+		if s.Start < 0 || s.Duration <= 0 || s.Extra < 0 {
+			return fmt.Errorf("fault: slowdown on disk %d has invalid window/extra", s.Disk)
+		}
+	}
+	if p.UREPerPageRead < 0 || p.UREPerPageRead >= 1 {
+		return fmt.Errorf("fault: UREPerPageRead %v outside [0, 1)", p.UREPerPageRead)
+	}
+	if p.RepairDelay < 0 {
+		return fmt.Errorf("fault: negative RepairDelay %v", p.RepairDelay)
+	}
+	return nil
+}
+
+// Injector implements ssd.FaultHook for one device: it applies the plan's
+// slowdown windows and draws latent sector errors from a per-device RNG.
+type Injector struct {
+	dev        int
+	urePerPage float64
+	rng        *rand.Rand
+	slow       []Slowdown // this device's windows only
+	failed     bool       // UREs stop mattering once the whole device is gone
+}
+
+// NewInjector builds the hook for device dev from the plan. The RNG stream
+// is derived from the plan seed and the device index, so runs with the
+// same plan draw identical error sequences regardless of how many devices
+// exist or in what order they are asked.
+func NewInjector(dev int, p Plan) *Injector {
+	inj := &Injector{
+		dev:        dev,
+		urePerPage: p.UREPerPageRead,
+		rng:        rand.New(rand.NewSource(p.Seed ^ (0x5851F42D4C957F2D * int64(dev+1)))),
+	}
+	for _, s := range p.Slowdowns {
+		if s.Disk == dev {
+			inj.slow = append(inj.slow, s)
+		}
+	}
+	return inj
+}
+
+// OpDelay implements ssd.FaultHook: the sum of all open slowdown windows
+// covering this channel at now.
+func (i *Injector) OpDelay(now sim.Time, channel int, write bool) sim.Time {
+	var extra sim.Time
+	for _, s := range i.slow {
+		if (s.Channel < 0 || s.Channel == channel) && now >= s.Start && now < s.Start+s.Duration {
+			extra += s.Extra
+		}
+	}
+	return extra
+}
+
+// ReadError implements ssd.FaultHook: a Bernoulli draw with success
+// probability 1-(1-p)^pages, the chance that at least one of the pages
+// hits a latent sector error.
+func (i *Injector) ReadError(now sim.Time, lpn, pages int) bool {
+	if i.urePerPage <= 0 || i.failed {
+		return false
+	}
+	p := 1 - math.Pow(1-i.urePerPage, float64(pages))
+	return i.rng.Float64() < p
+}
+
+// markFailed silences further URE draws (the array no longer reads the
+// device, but defensive code paths may still probe it).
+func (i *Injector) markFailed() { i.failed = true }
+
+// Install attaches injectors built from the plan to every device and
+// returns them indexed by device. Devices outside the slice (a dedicated
+// spare, say) can be given their own injector with NewInjector.
+func Install(devs []*ssd.Device, p Plan) []*Injector {
+	out := make([]*Injector, len(devs))
+	for i, d := range devs {
+		out[i] = NewInjector(i, p)
+		d.Fault = out[i]
+	}
+	return out
+}

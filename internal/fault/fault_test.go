@@ -1,0 +1,302 @@
+package fault
+
+import (
+	"testing"
+
+	"gcsteering/internal/raid"
+	"gcsteering/internal/rebuild"
+	"gcsteering/internal/sim"
+)
+
+// fakeDisk completes ops after fixed latencies; an optional error schedule
+// makes reads of specific pages report UREs.
+type fakeDisk struct {
+	eng      *sim.Engine
+	pages    int
+	readLat  sim.Time
+	writeLat sim.Time
+	badPages map[int]bool
+}
+
+func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+	if done != nil {
+		f.eng.At(now+f.readLat, done)
+	}
+}
+
+func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+	if done != nil {
+		f.eng.At(now+f.writeLat, done)
+	}
+}
+
+func (f *fakeDisk) LogicalPages() int  { return f.pages }
+func (f *fakeDisk) InGC(sim.Time) bool { return false }
+
+func (f *fakeDisk) ReadError(now sim.Time, page, pages int) bool {
+	for p := page; p < page+pages; p++ {
+		if f.badPages[p] {
+			return true
+		}
+	}
+	return false
+}
+
+func fixture(t *testing.T, lay raid.Layout) (*sim.Engine, *raid.Array, []*fakeDisk) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fakes := make([]*fakeDisk, lay.Disks)
+	disks := make([]raid.Disk, lay.Disks)
+	for i := range fakes {
+		fakes[i] = &fakeDisk{eng: eng, pages: lay.DiskPages, readLat: 10 * sim.Microsecond, writeLat: 100 * sim.Microsecond}
+		disks[i] = fakes[i]
+	}
+	arr, err := raid.NewArray(eng, lay, disks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, arr, fakes
+}
+
+func raid5Layout() raid.Layout {
+	return raid.Layout{Level: raid.RAID5, Disks: 5, UnitPages: 4, DiskPages: 64}
+}
+
+func raid6Layout() raid.Layout {
+	return raid.Layout{Level: raid.RAID6, Disks: 6, UnitPages: 4, DiskPages: 64}
+}
+
+// spareSinkFor wires every rebuild to a fresh fake spare.
+func spareSinkFor(eng *sim.Engine, pages int) func(sim.Time, int) (rebuild.Sink, raid.Disk, error) {
+	return func(now sim.Time, fail int) (rebuild.Sink, raid.Disk, error) {
+		spare := &fakeDisk{eng: eng, pages: pages, readLat: 10 * sim.Microsecond, writeLat: 100 * sim.Microsecond}
+		return &rebuild.SpareSink{Disk: spare}, spare, nil
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []Plan{
+		{Failures: []DiskFailure{{Disk: 9, At: 0}}},
+		{Failures: []DiskFailure{{Disk: 0, At: -1}}},
+		{Slowdowns: []Slowdown{{Disk: -1, Duration: 1, Start: 0}}},
+		{Slowdowns: []Slowdown{{Disk: 0, Duration: 0}}},
+		{UREPerPageRead: 1.5},
+		{UREPerPageRead: -0.1},
+		{RepairDelay: -1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(5); err == nil {
+			t.Errorf("case %d: invalid plan %+v accepted", i, p)
+		}
+	}
+	good := Plan{
+		Failures:       []DiskFailure{{Disk: 2, At: sim.Second}},
+		Slowdowns:      []Slowdown{{Disk: 0, Channel: -1, Start: 0, Duration: sim.Second, Extra: sim.Microsecond}},
+		UREPerPageRead: 1e-4,
+		RepairDelay:    sim.Millisecond,
+		RebuildMBps:    10,
+	}
+	if err := good.Validate(5); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if good.Empty() {
+		t.Fatal("non-empty plan reported Empty")
+	}
+	if !(Plan{}).Empty() {
+		t.Fatal("zero plan not Empty")
+	}
+}
+
+func TestInjectorSlowdownWindows(t *testing.T) {
+	p := Plan{Slowdowns: []Slowdown{
+		{Disk: 1, Channel: -1, Start: 100, Duration: 50, Extra: 7},
+		{Disk: 1, Channel: 3, Start: 120, Duration: 10, Extra: 5},
+		{Disk: 0, Channel: -1, Start: 0, Duration: 1000, Extra: 99},
+	}}
+	inj := NewInjector(1, p)
+	if d := inj.OpDelay(99, 0, false); d != 0 {
+		t.Fatalf("delay before window = %v, want 0", d)
+	}
+	if d := inj.OpDelay(100, 0, true); d != 7 {
+		t.Fatalf("delay in window = %v, want 7", d)
+	}
+	if d := inj.OpDelay(125, 3, false); d != 12 {
+		t.Fatalf("overlapping windows on channel 3 = %v, want 12", d)
+	}
+	if d := inj.OpDelay(125, 2, false); d != 7 {
+		t.Fatalf("channel filter leaked: delay = %v, want 7", d)
+	}
+	if d := inj.OpDelay(150, 0, false); d != 0 {
+		t.Fatalf("delay after window = %v, want 0", d)
+	}
+}
+
+func TestInjectorUREDeterminism(t *testing.T) {
+	p := Plan{UREPerPageRead: 0.05, Seed: 42}
+	a, b := NewInjector(3, p), NewInjector(3, p)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		ra, rb := a.ReadError(0, i, 8), b.ReadError(0, i, 8)
+		if ra != rb {
+			t.Fatalf("draw %d diverged between identical injectors", i)
+		}
+		if ra {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("0.05/page over 8-page reads never errored in 1000 draws")
+	}
+	// Different devices draw different streams.
+	other := NewInjector(4, p)
+	same := true
+	aa := NewInjector(3, p)
+	for i := 0; i < 200 && same; i++ {
+		if aa.ReadError(0, i, 8) != other.ReadError(0, i, 8) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("devices 3 and 4 drew identical URE streams")
+	}
+}
+
+func TestInjectorZeroRateNeverErrors(t *testing.T) {
+	inj := NewInjector(0, Plan{})
+	for i := 0; i < 100; i++ {
+		if inj.ReadError(0, i, 128) {
+			t.Fatal("zero URE rate produced an error")
+		}
+	}
+}
+
+func TestControllerFailureRebuildRepairCycle(t *testing.T) {
+	lay := raid5Layout()
+	eng, arr, _ := fixture(t, lay)
+	plan := Plan{
+		Failures:    []DiskFailure{{Disk: 2, At: sim.Millisecond}},
+		RepairDelay: sim.Millisecond,
+		RebuildMBps: 1000,
+	}
+	c, err := NewController(eng, arr, nil, plan, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SinkFor = spareSinkFor(eng, lay.DiskPages)
+	var failedAt, repairedAt sim.Time
+	c.OnFail = func(now sim.Time, d int) { failedAt = now }
+	c.OnRepair = func(now sim.Time, d int) { repairedAt = now }
+	c.Start()
+	eng.Run()
+	c.Finish(eng.Now())
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Failures != 1 || st.ArrayFailures != 0 || st.Rebuilds != 1 {
+		t.Fatalf("stats = %+v, want 1 failure, 1 rebuild", st)
+	}
+	if arr.Degraded() {
+		t.Fatal("array still degraded after repair")
+	}
+	if failedAt != sim.Millisecond {
+		t.Fatalf("failure at %v, want 1ms", failedAt)
+	}
+	if repairedAt <= failedAt+plan.RepairDelay {
+		t.Fatalf("repair at %v not after failure+delay", repairedAt)
+	}
+	if st.WindowOfVulnerability != repairedAt-failedAt {
+		t.Fatalf("WOV = %v, want %v", st.WindowOfVulnerability, repairedAt-failedAt)
+	}
+	if st.RebuildTime <= 0 || st.RebuildTime >= st.WindowOfVulnerability {
+		t.Fatalf("rebuild time %v outside (0, WOV=%v)", st.RebuildTime, st.WindowOfVulnerability)
+	}
+}
+
+func TestControllerRecordsArrayFailureBeyondTolerance(t *testing.T) {
+	lay := raid5Layout()
+	eng, arr, _ := fixture(t, lay)
+	plan := Plan{Failures: []DiskFailure{
+		{Disk: 1, At: sim.Millisecond},
+		{Disk: 3, At: 2 * sim.Millisecond}, // RAID5 cannot absorb a second loss
+	}}
+	c, err := NewController(eng, arr, nil, plan, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Run()
+	c.Finish(eng.Now())
+	st := c.Stats()
+	if st.Failures != 1 || st.ArrayFailures != 1 {
+		t.Fatalf("stats = %+v, want 1 absorbed + 1 array failure", st)
+	}
+	if !arr.Degraded() {
+		t.Fatal("array should remain degraded (no rebuild configured)")
+	}
+	if st.WindowOfVulnerability != eng.Now()-sim.Millisecond {
+		t.Fatalf("WOV = %v, want open window to run end %v", st.WindowOfVulnerability, eng.Now()-sim.Millisecond)
+	}
+}
+
+func TestControllerSecondFailureMidRebuildRAID6(t *testing.T) {
+	lay := raid6Layout()
+	eng, arr, _ := fixture(t, lay)
+	plan := Plan{
+		Failures: []DiskFailure{
+			{Disk: 0, At: sim.Millisecond},
+			{Disk: 4, At: 2 * sim.Millisecond},
+		},
+		RepairDelay: 0,
+		// Slow enough that the second failure lands mid-rebuild: one unit
+		// per interval, 16 stripes, ~unit at 100µs write latency.
+		RebuildMBps: 1,
+	}
+	c, err := NewController(eng, arr, nil, plan, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SinkFor = spareSinkFor(eng, lay.DiskPages)
+	c.Start()
+	eng.Run()
+	c.Finish(eng.Now())
+	if err := c.Err(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Failures != 2 || st.ArrayFailures != 0 {
+		t.Fatalf("stats = %+v, want 2 absorbed failures", st)
+	}
+	if st.Rebuilds != 2 {
+		t.Fatalf("rebuilds = %d, want 2 (queued one at a time)", st.Rebuilds)
+	}
+	if arr.Degraded() {
+		t.Fatal("array still degraded after both repairs")
+	}
+	if st.WindowOfVulnerability <= 0 {
+		t.Fatal("no window of vulnerability recorded")
+	}
+}
+
+func TestControllerDuplicateFailureIgnored(t *testing.T) {
+	lay := raid5Layout()
+	eng, arr, _ := fixture(t, lay)
+	plan := Plan{Failures: []DiskFailure{
+		{Disk: 2, At: sim.Millisecond},
+		{Disk: 2, At: 2 * sim.Millisecond},
+	}}
+	c, err := NewController(eng, arr, nil, plan, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	eng.Run()
+	c.Finish(eng.Now())
+	st := c.Stats()
+	if st.Failures != 1 || st.ArrayFailures != 0 {
+		t.Fatalf("stats = %+v, want the duplicate failure ignored", st)
+	}
+	if !arr.Degraded() || arr.Failed() != 2 {
+		t.Fatalf("array state wrong after duplicate failure")
+	}
+}

@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -189,6 +190,44 @@ func (g *Grid) renderMetric(b *strings.Builder, name string, data map[Cell]float
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+}
+
+// gridJSON is the wire form of a Grid: every metric as a table keyed by
+// workload then variant, so consumers need no knowledge of the Cell type.
+type gridJSON struct {
+	Title     string                                   `json:"title"`
+	Workloads []string                                 `json:"workloads"`
+	Variants  []string                                 `json:"variants"`
+	Metrics   map[string]map[string]map[string]float64 `json:"metrics"`
+}
+
+// MarshalJSON implements json.Marshaler: the primary metric appears under
+// "mean response time (µs)" alongside the auxiliary metrics.
+func (g *Grid) MarshalJSON() ([]byte, error) {
+	out := gridJSON{
+		Title:     g.Title,
+		Workloads: g.Workloads,
+		Variants:  g.Variants,
+		Metrics:   make(map[string]map[string]map[string]float64, 1+len(g.Aux)),
+	}
+	add := func(name string, data map[Cell]float64) {
+		t := make(map[string]map[string]float64, len(g.Workloads))
+		for _, w := range g.Workloads {
+			row := make(map[string]float64, len(g.Variants))
+			for _, v := range g.Variants {
+				if x, ok := data[Cell{w, v}]; ok {
+					row[v] = x
+				}
+			}
+			t[w] = row
+		}
+		out.Metrics[name] = t
+	}
+	add("mean response time (µs)", g.Mean)
+	for name, data := range g.Aux {
+		add(name, data)
+	}
+	return json.Marshal(out)
 }
 
 func sortedKeys(m map[string]map[Cell]float64) []string {

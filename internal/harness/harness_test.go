@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -270,6 +271,76 @@ func TestFig11Runs(t *testing.T) {
 		if v <= 0 {
 			t.Fatalf("cell %v: rebuild did not complete", c)
 		}
+	}
+}
+
+func TestFaultsGridRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	g, err := Faults(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Variants) != 3 {
+		t.Fatalf("variants = %v", g.Variants)
+	}
+	wov := g.Aux["window of vulnerability (s)"]
+	deg := g.Aux["degraded p99 (µs)"]
+	for _, w := range g.Workloads {
+		for _, v := range g.Variants {
+			c := Cell{w, v}
+			if wov[c] <= 0 {
+				t.Fatalf("cell %v: no vulnerability window measured", c)
+			}
+			if deg[c] <= 0 {
+				t.Fatalf("cell %v: no degraded p99 measured", c)
+			}
+		}
+	}
+	// The headline reliability claim: GC-Steering's staging absorbs user
+	// I/O off the survivors during reconstruction, so its vulnerability
+	// window is the shortest on aggregate.
+	var lgc, ggc, steer float64
+	for _, w := range g.Workloads {
+		lgc += wov[Cell{w, "LGC"}]
+		ggc += wov[Cell{w, "GGC"}]
+		steer += wov[Cell{w, "GC-Steering"}]
+	}
+	if steer >= lgc || steer >= ggc {
+		t.Fatalf("GC-Steering WOV %.2fs not shortest (LGC %.2fs, GGC %.2fs)", steer, lgc, ggc)
+	}
+}
+
+func TestGridMarshalJSON(t *testing.T) {
+	g := newGrid("t", []string{"w1"}, []string{"A", "B"})
+	g.Mean[Cell{"w1", "A"}] = 10
+	g.Mean[Cell{"w1", "B"}] = 5
+	g.addAux("x", Cell{"w1", "A"}, 1.5)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Title     string                                   `json:"title"`
+		Workloads []string                                 `json:"workloads"`
+		Variants  []string                                 `json:"variants"`
+		Metrics   map[string]map[string]map[string]float64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != "t" || len(back.Workloads) != 1 || len(back.Variants) != 2 {
+		t.Fatalf("round trip lost shape: %+v", back)
+	}
+	if back.Metrics["mean response time (µs)"]["w1"]["A"] != 10 {
+		t.Fatalf("primary metric lost: %+v", back.Metrics)
+	}
+	if back.Metrics["x"]["w1"]["A"] != 1.5 {
+		t.Fatalf("aux metric lost: %+v", back.Metrics)
+	}
+	if _, ok := back.Metrics["x"]["w1"]["B"]; ok {
+		t.Fatal("unset cell serialized")
 	}
 }
 

@@ -67,6 +67,14 @@ type SubOp struct {
 // false sends the op to the member disk as usual.
 type RouteFunc func(now sim.Time, op SubOp, done func(now sim.Time)) bool
 
+// Faulty is implemented by disks that can surface latent sector errors
+// (unrecoverable read errors). *ssd.Device implements it when a fault hook
+// is installed; the array consults it on every user data read and recovers
+// through parity while redundancy lasts.
+type Faulty interface {
+	ReadError(now sim.Time, page, pages int) bool
+}
+
 // Stats counts array-level activity.
 type Stats struct {
 	UserReads      int64
@@ -80,6 +88,10 @@ type Stats struct {
 	ParityPages    int64 // parity pages written
 	RoutedSubOps   int64 // sub-ops claimed by the Route hook
 	SubOpsDuringGC int64 // sub-ops addressed to a disk while it was in GC
+	UREs           int64 // user reads that hit an unrecoverable read error
+	URERepaired    int64 // UREs served by reconstruction from the survivors
+	DataLossEvents int64 // UREs with no redundancy left to reconstruct from
+	StaleSubOps    int64 // sub-ops absorbed because their disk failed mid-op
 }
 
 // Array is the timed RAID engine: it fans user requests out to member
@@ -208,10 +220,29 @@ func (a *Array) alive(d int) bool {
 	return true
 }
 
+// Alive reports whether member d is currently healthy (not failed).
+func (a *Array) Alive(d int) bool { return a.alive(d) }
+
+// SpareRedundancy is how many additional member losses the array can absorb
+// right now: the layout's fault tolerance minus the failures already
+// sustained. Zero means the survivors are the last copy of the data — the
+// window in which one more loss (or an unrecoverable read error during
+// rebuild) is data loss.
+func (a *Array) SpareRedundancy() int { return a.maxFailures() - len(a.failed) }
+
 // issue routes one sub-op to the member disk (or the Route hook).
 func (a *Array) issue(now sim.Time, op SubOp, done func(now sim.Time)) {
 	if !a.alive(op.Disk) {
-		panic(fmt.Sprintf("raid: sub-op issued to failed disk %d", op.Disk))
+		// The disk failed after this op's plan was made (a failure injected
+		// between the read and write phases of an in-flight RMW). The write
+		// to the failed member is simply skipped — its data is covered by
+		// the stripe's parity and regenerated by the rebuild — and the op
+		// completes without touching the dead device.
+		a.stats.StaleSubOps++
+		if done != nil {
+			a.eng.At(now, done)
+		}
+		return
 	}
 	a.stats.SubOps++
 	if a.disks[op.Disk].InGC(now) {
@@ -243,6 +274,45 @@ func barrier(n int, done func(now sim.Time)) func(now sim.Time) {
 	}
 }
 
+// readError consults the member's fault hook (if any) for a latent sector
+// error on [page, page+pages).
+func (a *Array) readError(now sim.Time, d, page, pages int) bool {
+	f, ok := a.disks[d].(Faulty)
+	return ok && f.ReadError(now, page, pages)
+}
+
+// reconstructItems returns the sub-ops that regenerate extent e without
+// reading it from disk e.Disk: the stripe's surviving data units plus
+// enough parity at the same in-unit offsets. With one unit unavailable, P
+// (or Q when P is also gone) suffices; with two (RAID6 double failure, or
+// a URE in degraded mode), both P and Q are needed. ok is false when the
+// surviving redundancy cannot cover the losses — reading e is data loss.
+func (a *Array) reconstructItems(e Extent) (items []SubOp, ok bool) {
+	unitOff := e.Page - a.lay.UnitPage(e.Stripe)
+	missingData := 0
+	for idx := 0; idx < a.lay.DataDisks(); idx++ {
+		d := a.lay.DataDisk(e.Stripe, idx)
+		if d == e.Disk {
+			continue
+		}
+		if !a.alive(d) {
+			missingData++
+			continue
+		}
+		items = append(items, SubOp{Disk: d, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe})
+	}
+	parityNeeded := 1 + missingData
+	if pd := a.lay.ParityDisk(e.Stripe); pd >= 0 && a.alive(pd) && parityNeeded > 0 {
+		items = append(items, SubOp{Disk: pd, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpParityRead, Stripe: e.Stripe})
+		parityNeeded--
+	}
+	if qd := a.lay.QDisk(e.Stripe); qd >= 0 && a.alive(qd) && parityNeeded > 0 {
+		items = append(items, SubOp{Disk: qd, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpParityRead, Stripe: e.Stripe})
+		parityNeeded--
+	}
+	return items, parityNeeded <= 0
+}
+
 // Read services a user read of pages logical pages starting at page. done,
 // if non-nil, fires when the last byte is available.
 func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
@@ -250,50 +320,64 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 	a.stats.UserReads++
 	exts := a.lay.SplitExtent(page, pages)
 	// Pre-count sub-ops so a single barrier covers the whole request.
-	type issueItem struct {
-		op SubOp
-	}
-	var items []issueItem
+	var items []SubOp
 	for _, e := range exts {
 		switch {
 		case a.lay.Level == RAID1:
 			d := a.pickMirror()
-			items = append(items, issueItem{SubOp{Disk: d, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe}})
+			if a.readError(now, d, e.Page, e.Pages) {
+				a.stats.UREs++
+				if alt, ok := a.pickMirrorWithout(now, d, e.Page, e.Pages); ok {
+					a.stats.URERepaired++
+					d = alt
+				} else {
+					a.stats.DataLossEvents++
+				}
+			}
+			items = append(items, SubOp{Disk: d, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe})
 		case a.alive(e.Disk):
-			items = append(items, issueItem{SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe}})
+			if a.readError(now, e.Disk, e.Page, e.Pages) {
+				// Latent sector error: reconstruct the extent from the
+				// stripe's peers when redundancy allows; otherwise record
+				// data loss and let the read occupy the channel anyway (a
+				// real drive burns the retry time before giving up).
+				a.stats.UREs++
+				if rec, ok := a.reconstructItems(e); ok {
+					a.stats.URERepaired++
+					a.stats.DegradedReads++
+					items = append(items, rec...)
+					continue
+				}
+				a.stats.DataLossEvents++
+			}
+			items = append(items, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe})
 		default:
-			// Degraded: rebuild this extent from the surviving data units
-			// plus enough parity at the same in-unit offsets. With one data
-			// unit missing, P (or Q when P is also gone) suffices; with two
-			// missing (RAID6 double failure), both P and Q are needed.
+			// Degraded: the home disk is failed, so the extent exists only
+			// through redundancy. FailDisk never admits more failures than
+			// the layout tolerates, so reconstruction always succeeds here.
 			a.stats.DegradedReads++
-			unitOff := e.Page - a.lay.UnitPage(e.Stripe)
-			missingData := 0
-			for idx := 0; idx < a.lay.DataDisks(); idx++ {
-				d := a.lay.DataDisk(e.Stripe, idx)
-				if d == e.Disk {
-					continue
-				}
-				if !a.alive(d) {
-					missingData++
-					continue
-				}
-				items = append(items, issueItem{SubOp{Disk: d, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe}})
-			}
-			parityNeeded := 1 + missingData
-			if pd := a.lay.ParityDisk(e.Stripe); pd >= 0 && a.alive(pd) && parityNeeded > 0 {
-				items = append(items, issueItem{SubOp{Disk: pd, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpParityRead, Stripe: e.Stripe}})
-				parityNeeded--
-			}
-			if qd := a.lay.QDisk(e.Stripe); qd >= 0 && a.alive(qd) && parityNeeded > 0 {
-				items = append(items, issueItem{SubOp{Disk: qd, Page: a.lay.UnitPage(e.Stripe) + unitOff, Pages: e.Pages, Kind: OpParityRead, Stripe: e.Stripe}})
-			}
+			rec, _ := a.reconstructItems(e)
+			items = append(items, rec...)
 		}
 	}
 	cb := barrier(len(items), done)
-	for _, it := range items {
-		a.issue(now, it.op, cb)
+	for _, op := range items {
+		a.issue(now, op, cb)
 	}
+}
+
+// pickMirrorWithout returns an alive mirror other than skip whose copy of
+// [page, page+pages) reads cleanly, for RAID1 URE recovery.
+func (a *Array) pickMirrorWithout(now sim.Time, skip, page, pages int) (int, bool) {
+	for d := 0; d < a.lay.Disks; d++ {
+		if d == skip || !a.alive(d) {
+			continue
+		}
+		if !a.readError(now, d, page, pages) {
+			return d, true
+		}
+	}
+	return -1, false
 }
 
 // pickMirror returns the next alive mirror for RAID1 read balancing.

@@ -122,3 +122,30 @@ func TestArraySequentialRepairs(t *testing.T) {
 		t.Fatal("still degraded after both repairs")
 	}
 }
+
+// TestFailureMidRMWAbsorbsStaleWrites injects a failure between the read
+// and write phases of an in-flight read-modify-write: the planned write to
+// the just-failed member must be absorbed (no panic, no device touch) and
+// the request must still complete.
+func TestFailureMidRMWAbsorbsStaleWrites(t *testing.T) {
+	eng, a, fakes := newFakeArray(t, raid5Layout())
+	// A partial-stripe write triggers RMW: reads at t=0 finish at t=10, the
+	// write phase starts then. Fail the data disk of stripe 0 at t=5.
+	var doneAt sim.Time
+	a.Write(0, 0, 4, func(tm sim.Time) { doneAt = tm })
+	eng.At(5, func(now sim.Time) {
+		if err := a.FailDisk(a.lay.DataDisk(0, 0)); err != nil {
+			t.Errorf("FailDisk: %v", err)
+		}
+	})
+	eng.Run()
+	if doneAt == 0 {
+		t.Fatal("RMW never completed after mid-op failure")
+	}
+	if a.Stats().StaleSubOps == 0 {
+		t.Fatal("no stale sub-op recorded for the failed member's write")
+	}
+	if n := len(fakes[a.lay.DataDisk(0, 0)].writes); n != 0 {
+		t.Fatalf("failed disk received %d writes", n)
+	}
+}

@@ -100,6 +100,15 @@ type Stats struct {
 	PagesWritten int64
 	StartedAt    sim.Time
 	FinishedAt   sim.Time
+	// UREs counts survivor reads that hit an unrecoverable read error
+	// during the rebuild; UREsRepaired the subset covered by spare
+	// redundancy (RAID6 rebuilding one disk still has a parity to spare).
+	// DataLossUnits counts units whose errors exceeded the remaining
+	// redundancy — the survivors were the last copy, so the regenerated
+	// unit is garbage (the paper's §III-D window-of-vulnerability risk).
+	UREs          int64
+	UREsRepaired  int64
+	DataLossUnits int64
 }
 
 // Rebuilder drives the reconstruction of one failed disk.
@@ -172,6 +181,10 @@ func (r *Rebuilder) Start(now sim.Time) {
 // reads the stripe's units from every survivor (directly — rebuild I/O is
 // never steered), then writes the regenerated unit to the sink, then
 // schedules the next unit no earlier than the pacing interval allows.
+// Members that fail mid-rebuild (a second failure the layout tolerates)
+// drop out of the survivor reads; latent sector errors on the survivors
+// consume spare redundancy, and past the last redundant copy they turn the
+// unit into a data-loss event.
 func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
 	if r.nextSt >= r.stripes {
 		r.running = false
@@ -188,13 +201,27 @@ func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
 	disks := r.arr.Disks()
 
 	// Read the stripe's unit from every surviving member.
-	nReads := 0
+	var sources []int
 	for d := 0; d < lay.Disks; d++ {
-		if d != r.failed {
-			nReads++
+		if r.arr.Alive(d) {
+			sources = append(sources, d)
 		}
 	}
-	remain := nReads
+	errs := 0
+	for _, d := range sources {
+		if f, ok := disks[d].(raid.Faulty); ok && f.ReadError(startAt, base, lay.UnitPages) {
+			errs++
+		}
+	}
+	if errs > 0 {
+		r.stats.UREs += int64(errs)
+		if errs <= r.arr.SpareRedundancy() {
+			r.stats.UREsRepaired += int64(errs)
+		} else {
+			r.stats.DataLossUnits++
+		}
+	}
+	remain := len(sources)
 	earliestNext := startAt + r.interval
 	onRead := func(t sim.Time) {
 		remain--
@@ -212,10 +239,7 @@ func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
 			r.eng.At(next, func(nt sim.Time) { r.rebuildUnit(nt) })
 		})
 	}
-	for d := 0; d < lay.Disks; d++ {
-		if d == r.failed {
-			continue
-		}
+	for _, d := range sources {
 		r.stats.PagesRead += int64(lay.UnitPages)
 		disks[d].Read(startAt, base, lay.UnitPages, onRead)
 	}

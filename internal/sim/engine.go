@@ -80,10 +80,11 @@ func (h eventHeap) peek() (Time, bool) { // smallest timestamp without popping
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now       Time
+	seq       uint64
+	events    eventHeap
+	fired     uint64
+	maxEvents uint64
 }
 
 // NewEngine returns an engine with its clock at zero and no pending events.
@@ -99,6 +100,12 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to execute.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// SetMaxEvents installs an opt-in safety budget: once more than n events
+// have fired, the next Step panics with a diagnostic instead of letting a
+// mis-wired component that keeps rescheduling itself hang the run forever.
+// n == 0 removes the budget (the default).
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
 
 // At schedules fn to run at the absolute instant at. Scheduling in the past
 // (at < Now) panics: it always indicates a bug in a component's timing math,
@@ -129,6 +136,12 @@ func (e *Engine) Defer(fn func(now Time)) { e.At(e.now, fn) }
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
+	}
+	if e.maxEvents > 0 && e.fired >= e.maxEvents {
+		at, _ := e.events.peek()
+		panic(fmt.Sprintf(
+			"sim: event budget of %d exhausted at t=%v with %d events still pending (next at %v) — a component is likely rescheduling itself forever",
+			e.maxEvents, e.now, len(e.events), at))
 	}
 	ev := heap.Pop(&e.events).(event)
 	e.now = ev.at

@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -203,6 +204,48 @@ func TestRandomScheduleOrdering(t *testing.T) {
 		return fired[i].seq < fired[j].seq
 	}) {
 		t.Fatal("events fired out of (time, schedule) order")
+	}
+}
+
+func TestMaxEventsBudgetPanicsOnRunaway(t *testing.T) {
+	e := NewEngine()
+	e.SetMaxEvents(50)
+	// A mis-wired component that reschedules itself forever.
+	var loop func(now Time)
+	loop = func(now Time) { e.After(Microsecond, loop) }
+	e.At(0, loop)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("runaway schedule did not panic under SetMaxEvents")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "event budget") {
+			t.Fatalf("panic message %v does not mention the event budget", r)
+		}
+		if e.Fired() != 50 {
+			t.Fatalf("Fired() = %d, want exactly the budget of 50", e.Fired())
+		}
+	}()
+	e.Run()
+}
+
+func TestMaxEventsBudgetAllowsBoundedRuns(t *testing.T) {
+	e := NewEngine()
+	e.SetMaxEvents(100)
+	fired := 0
+	for i := 0; i < 100; i++ {
+		e.At(Time(i), func(Time) { fired++ })
+	}
+	e.Run() // exactly at the budget: must complete without panicking
+	if fired != 100 {
+		t.Fatalf("fired = %d, want 100", fired)
+	}
+	// Removing the budget lifts the cap.
+	e.SetMaxEvents(0)
+	e.At(e.Now(), func(Time) { fired++ })
+	e.Run()
+	if fired != 101 {
+		t.Fatalf("fired = %d after lifting budget, want 101", fired)
 	}
 }
 

@@ -104,6 +104,18 @@ type Stats struct {
 	GCWallTime   sim.Time // wall-clock time the device spent in the GC state
 }
 
+// FaultHook lets a fault-injection layer perturb the device op path.
+// internal/fault implements it; a nil hook means the device is healthy.
+type FaultHook interface {
+	// OpDelay returns extra service time charged to the channel occupancy
+	// of one page op at now. It models fail-slow devices and transient
+	// per-channel latency spikes; zero means no perturbation.
+	OpDelay(now sim.Time, channel int, write bool) sim.Time
+	// ReadError reports whether a host read of [lpn, lpn+pages) surfaces a
+	// latent sector error (unrecoverable read error) at now.
+	ReadError(now sim.Time, lpn, pages int) bool
+}
+
 // Device is one simulated SSD attached to a simulation engine.
 type Device struct {
 	// ID identifies the device inside an array; used only for reporting.
@@ -122,6 +134,12 @@ type Device struct {
 	// these. OnGCEnd fires via the event queue at the episode's end time.
 	OnGCStart func(now sim.Time, d *Device)
 	OnGCEnd   func(now sim.Time, d *Device)
+
+	// Fault, when non-nil, perturbs the user op path (extra latency) and
+	// decides latent sector errors. GC-internal page moves are not
+	// perturbed: a slow or error-prone device hurts exactly the traffic the
+	// array can observe.
+	Fault FaultHook
 }
 
 // New creates a device bound to engine eng.
@@ -187,6 +205,21 @@ func (d *Device) channelFor(lpn int) int {
 	return lpn % d.cfg.Geometry.Channels
 }
 
+// faultDelay returns the fault hook's extra service time for one page op.
+func (d *Device) faultDelay(now sim.Time, channel int, write bool) sim.Time {
+	if d.Fault == nil {
+		return 0
+	}
+	return d.Fault.OpDelay(now, channel, write)
+}
+
+// ReadError reports whether reading [lpn, lpn+pages) suffers an
+// unrecoverable read error at now. It implements the RAID engine's Faulty
+// interface; without a fault hook the device never errors.
+func (d *Device) ReadError(now sim.Time, lpn, pages int) bool {
+	return d.Fault != nil && d.Fault.ReadError(now, lpn, pages)
+}
+
 // Read services a read of pages logical pages starting at lpn. done, if
 // non-nil, fires when the last page is delivered.
 func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) {
@@ -202,7 +235,7 @@ func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) {
 		} else {
 			c = d.channelFor(lpn + i)
 		}
-		end := d.occupy(now, c, d.cfg.Latency.PageRead+d.cfg.Latency.BusTransfer)
+		end := d.occupy(now, c, d.cfg.Latency.PageRead+d.cfg.Latency.BusTransfer+d.faultDelay(now, c, false))
 		if end > finish {
 			finish = end
 		}
@@ -224,7 +257,7 @@ func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) {
 	for i := 0; i < pages; i++ {
 		ppn := d.ftl.Write(lpn + i)
 		c := d.cfg.Geometry.PageChannel(ppn)
-		end := d.occupy(now, c, d.cfg.Latency.PageProgram+d.cfg.Latency.BusTransfer)
+		end := d.occupy(now, c, d.cfg.Latency.PageProgram+d.cfg.Latency.BusTransfer+d.faultDelay(now, c, true))
 		if end > finish {
 			finish = end
 		}

@@ -41,6 +41,10 @@ type Results struct {
 	// RebuildDuration is non-zero for ReplayDuringRebuild runs.
 	RebuildDuration Time
 
+	// Fault carries the reliability measurements of a ReplayWithFaults run
+	// (Injected is false for plain replays).
+	Fault FaultStats
+
 	// VariabilityCV is the coefficient of variation of per-100 ms-window
 	// mean response times — the paper's Figure 1 "performance variability"
 	// as one number. Timeline is an ASCII profile of the same windows.
@@ -57,6 +61,35 @@ type Results struct {
 type WearStats struct {
 	MaxErase  int
 	MeanErase float64
+}
+
+// FaultStats aggregates the reliability measurements of one fault-injected
+// run: what the fault plan did to the array and what it cost.
+type FaultStats struct {
+	// Injected marks results produced by ReplayWithFaults.
+	Injected bool
+	// Failures counts whole-device losses the RAID level absorbed;
+	// ArrayFailures those beyond its tolerance (the array was lost).
+	Failures      int64
+	ArrayFailures int64
+	// Rebuilds counts completed automatic reconstructions.
+	Rebuilds int64
+	// UREs counts latent sector errors surfaced by host and rebuild reads;
+	// URERepaired the subset reconstructed from redundancy; DataLossEvents
+	// everything unrecoverable (UREs past the last copy, rebuild units lost,
+	// and array failures).
+	UREs           int64
+	URERepaired    int64
+	DataLossEvents int64
+	// WindowOfVulnerability totals the simulated time the array ran without
+	// full redundancy — the paper's §III-D reliability metric: while the
+	// window is open, one more loss is data loss. RebuildTime is the part
+	// spent actively reconstructing.
+	WindowOfVulnerability Time
+	RebuildTime           Time
+	// DegradedLatency summarizes response times of requests submitted while
+	// the array was degraded.
+	DegradedLatency LatencySummary
 }
 
 // results snapshots the system state into a Results.
@@ -93,6 +126,22 @@ func (s *System) results() *Results {
 		r.Steering = s.steer.Stats()
 		r.RedirectRatio = s.steer.RedirectRatio()
 	}
+	if s.faults != nil {
+		cs := s.faults.Stats()
+		as := s.arr.Stats()
+		r.Fault = FaultStats{
+			Injected:              true,
+			Failures:              cs.Failures,
+			ArrayFailures:         cs.ArrayFailures,
+			Rebuilds:              cs.Rebuilds,
+			UREs:                  as.UREs + cs.RebuildUREs,
+			URERepaired:           as.URERepaired + cs.RebuildUREsRepaired,
+			DataLossEvents:        as.DataLossEvents + cs.DataLossUnits + cs.ArrayFailures,
+			WindowOfVulnerability: cs.WindowOfVulnerability,
+			RebuildTime:           cs.RebuildTime,
+			DegradedLatency:       s.degLat.Summarize(),
+		}
+	}
 	return r
 }
 
@@ -118,6 +167,9 @@ func (r *Results) String() string {
 	}
 	if r.RebuildDuration > 0 {
 		fmt.Fprintf(&b, " rebuild=%v", r.RebuildDuration)
+	}
+	if r.Fault.Injected {
+		fmt.Fprintf(&b, " wov=%v loss=%d", r.Fault.WindowOfVulnerability, r.Fault.DataLossEvents)
 	}
 	return b.String()
 }

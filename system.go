@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"gcsteering/internal/core"
+	"gcsteering/internal/fault"
 	"gcsteering/internal/metrics"
 	"gcsteering/internal/raid"
 	"gcsteering/internal/rebuild"
@@ -55,8 +56,12 @@ type System struct {
 	lat      metrics.Hist
 	readLat  metrics.Hist
 	writeLat metrics.Hist
+	degLat   metrics.Hist // requests submitted while the array was degraded
 	timeline *metrics.TimeSeries
 	inFlight int
+
+	faults *fault.Controller // non-nil for ReplayWithFaults runs
+	nrepl  int               // replacement SSDs created so far (device IDs)
 
 	// measuring gates response-time recording; ReplayDuringRebuild stops
 	// recording when reconstruction completes so the results describe the
@@ -236,6 +241,7 @@ func (s *System) submit(now sim.Time, r Record) {
 	}
 	s.inFlight++
 	record := s.measuring
+	degraded := record && s.arr.Degraded()
 	done := func(t sim.Time) {
 		s.inFlight--
 		if !record {
@@ -244,6 +250,9 @@ func (s *System) submit(now sim.Time, r Record) {
 		d := int64(t - now)
 		s.lat.Observe(d)
 		s.timeline.Observe(int64(now), d)
+		if degraded {
+			s.degLat.Observe(d)
+		}
 		if r.Write {
 			s.writeLat.Observe(d)
 		} else {
@@ -411,6 +420,122 @@ func (s *System) ReplayDuringRebuild(tr Trace, failDisk int, bandwidthMBps float
 	res := s.results()
 	res.RebuildDuration = s.rebuildDuration
 	return res, nil
+}
+
+// ReplayWithFaults replays the trace while executing the configured fault
+// plan (Config.Fault): scheduled whole-device failures, latent sector
+// errors, latency spikes, and — when the plan caps a rebuild bandwidth —
+// automatic repair-and-rebuild into the plan's RebuildTarget. The results
+// carry the reliability measurements (window of vulnerability, rebuild
+// time, degraded-mode latency, data-loss events) in Results.Fault.
+//
+// Like Replay, call it once per System.
+func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
+	if err := trace.Validate(tr); err != nil {
+		return nil, err
+	}
+	if len(tr) == 0 {
+		return nil, fmt.Errorf("gcsteering: empty trace")
+	}
+	ctl, err := fault.NewController(s.eng, s.arr, s.devs, s.cfg.Fault.plan(s.cfg.Seed), s.cfg.Flash.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	ctl.SinkFor = s.faultSink
+	ctl.OnFail = func(now sim.Time, disk int) {
+		if s.steer == nil {
+			return
+		}
+		s.steer.SetFailedHome(disk)
+		if s.cfg.Staging == StagingReserved {
+			// The failed member's staged copies are gone with it.
+			s.steer.Staging().SetUnavailable(disk)
+			s.steer.DropStagedOn(int32(disk))
+		}
+	}
+	ctl.OnRebuildStart = func(now sim.Time, disk int) {
+		s.rebuildActive = true
+		if s.steer != nil {
+			s.steer.SetRebuilding(now, true)
+		}
+	}
+	ctl.OnRepair = func(now sim.Time, disk int) {
+		s.rebuildActive = false
+		if s.steer != nil {
+			s.steer.Staging().SetUnavailable(-1)
+			s.steer.SetFailedHome(-1)
+			s.steer.SetRebuilding(now, false)
+		}
+	}
+	s.faults = ctl
+	ctl.Start()
+	s.measuring = true
+	s.scheduleArrivals(tr)
+	s.eng.Run()
+	s.drainSteering()
+	ctl.Finish(s.eng.Now())
+	if err := ctl.Err(); err != nil {
+		return nil, err
+	}
+	return s.results(), nil
+}
+
+// faultSink builds the rebuild sink for the plan's RebuildTarget plus the
+// replacement disk installed once that rebuild completes. Each failure gets
+// a fresh replacement SSD, so repeated failures rebuild onto clean devices.
+func (s *System) faultSink(now sim.Time, failDisk int) (rebuild.Sink, raid.Disk, error) {
+	repl, err := s.newReplacement()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch s.cfg.Fault.RebuildTarget {
+	case RebuildToSpare:
+		return &rebuild.SpareSink{Disk: repl}, repl, nil
+	case RebuildToReserved:
+		var survivors []raid.Disk
+		for d, disk := range s.disks {
+			if s.arr.Alive(d) && d != failDisk {
+				survivors = append(survivors, disk)
+			}
+		}
+		reserve := s.rebuildReservePages()
+		if reserve < s.arr.Layout().UnitPages {
+			return nil, nil, fmt.Errorf("gcsteering: no reserved space for parallel rebuild (configure reserved staging with a large enough ReservedFrac)")
+		}
+		base := s.cfg.Flash.LogicalPages() - reserve
+		sink, err := rebuild.NewReservedSink(survivors, base, reserve)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The reconstruction lands in the survivors' reserved space; the
+		// fresh replacement fills the failed slot so the array is redundant
+		// again as soon as the parallel writes finish (the WOV endpoint).
+		// Migrating the data back onto the replacement happens off the
+		// critical path and is not modelled.
+		return sink, repl, nil
+	default:
+		return nil, nil, fmt.Errorf("gcsteering: unknown rebuild target %v", s.cfg.Fault.RebuildTarget)
+	}
+}
+
+// newReplacement creates a fresh SSD to take over a failed slot.
+func (s *System) newReplacement() (*ssd.Device, error) {
+	devCfg := ssd.Config{
+		Geometry:        s.cfg.Flash,
+		Latency:         s.cfg.Latency,
+		GCLowWater:      s.cfg.GCLowWater,
+		GCHighWater:     s.cfg.GCHighWater,
+		ForcedGCVictims: s.cfg.ForcedGCVictims,
+		GCOverhead:      sim.Time(s.cfg.GCOverheadMs * float64(sim.Millisecond)),
+	}
+	// IDs continue past the members and the optional dedicated spare.
+	id := s.cfg.Disks + 1 + s.nrepl
+	repl, err := ssd.New(id, s.eng, devCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.nrepl++
+	return repl, nil
 }
 
 // Now returns the engine clock (mainly for tests and custom drivers).
