@@ -12,15 +12,23 @@
 //
 // -json <path> additionally writes the machine-readable results of the run
 // (every grid's full metric tables) to the given file.
+//
+// -trace <path> streams the structured simulation event log (JSONL, one
+// event per line) of the tracing-aware experiments — currently fig1, whose
+// sequential per-scheme runs are separated by "run-start" events. -timeseries
+// <path> writes fig1's windowed latency/gauge time series as CSV, one
+// labelled block per scheme. Parallel grid experiments ignore both flags.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"gcsteering"
 	"gcsteering/internal/harness"
 )
 
@@ -48,10 +56,49 @@ func main() {
 		seed       = flag.Int64("seed", 0, "seed offset for replication")
 		repeats    = flag.Int("repeats", 1, "average each cell over this many seeds")
 		jsonPath   = flag.String("json", "", "also write results as JSON to this file")
+		tracePath  = flag.String("trace", "", "write the simulation event log (JSONL) of tracing-aware experiments (fig1) to this file")
+		seriesPath = flag.String("timeseries", "", "write the windowed latency time series (CSV) of tracing-aware experiments (fig1) to this file")
 	)
 	flag.Parse()
 	o := harness.Options{MaxRequests: *requests, Workers: *workers, Seed: *seed, Repeats: *repeats}
 	doc := jsonDoc{Requests: *requests, Seed: *seed, Repeats: *repeats}
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gcsbench: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("create %s: %v", *tracePath, err)
+		}
+		tr := gcsteering.NewTracer(f)
+		o.Trace = tr
+		defer func() {
+			if err := tr.Flush(); err != nil {
+				fail("write trace %s: %v", *tracePath, err)
+			}
+			if err := f.Close(); err != nil {
+				fail("close %s: %v", *tracePath, err)
+			}
+		}()
+	}
+	if *seriesPath != "" {
+		f, err := os.Create(*seriesPath)
+		if err != nil {
+			fail("create %s: %v", *seriesPath, err)
+		}
+		bw := bufio.NewWriter(f)
+		o.SeriesOut = bw
+		defer func() {
+			if err := bw.Flush(); err != nil {
+				fail("write timeseries %s: %v", *seriesPath, err)
+			}
+			if err := f.Close(); err != nil {
+				fail("close %s: %v", *seriesPath, err)
+			}
+		}()
+	}
 
 	// Each experiment renders to stdout and returns its -json entry.
 	run := func(name string) (experimentOut, error) {

@@ -156,6 +156,19 @@ type Config struct {
 	// Seed makes the whole simulation deterministic.
 	Seed int64
 
+	// Trace, when non-nil, receives the run's structured event stream (GC
+	// lifecycle, sub-op fan-out, steering decisions, fault/rebuild events,
+	// request arrivals and completions) as JSON lines. Build one with
+	// NewTracer and call its Flush method after the run. A nil tracer is
+	// free: emit sites pay one nil check. A Tracer belongs to exactly one
+	// System — never share it across concurrently replaying systems.
+	Trace *Tracer
+	// WindowQuantiles enables per-window quantile tracking (and engine
+	// queue-depth sampling) in the results' time series, at the cost of one
+	// histogram (~5 KB) per active 100 ms window. Off, the series still
+	// carries per-window mean/max/count and the gauges.
+	WindowQuantiles bool
+
 	// Fault configures deterministic fault injection, executed only by
 	// System.ReplayWithFaults. The zero value injects nothing.
 	Fault FaultPlan

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"gcsteering/internal/obs"
 	"gcsteering/internal/sim"
 )
 
@@ -77,6 +78,11 @@ func (s *Steering) drainNext(now sim.Time, disk int) {
 	}
 	run := runs[0]
 	s.stats.ReclaimRuns++
+	if s.Trace.Enabled() {
+		s.Trace.Emit(now, obs.Event{Kind: obs.KReclaim,
+			Dev: run.Disk, Page: int64(run.Page), Pages: run.Pages,
+			Aux: int64(s.staging.FreeWriteSlots())})
+	}
 
 	// Snapshot the entries so concurrent redirects are detected.
 	type snap struct {

@@ -3,9 +3,17 @@ package core
 import (
 	"fmt"
 
+	"gcsteering/internal/obs"
 	"gcsteering/internal/raid"
 	"gcsteering/internal/sim"
 )
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Config tunes GC-Steering. The zero value is not useful; start from
 // DefaultConfig.
@@ -57,9 +65,17 @@ type Stats struct {
 	GCPages           int64
 	GCPagesRedirected int64
 
-	Migrations          int64 // hot-read pages copied to staging
-	MigrationsSkipped   int64 // hot pages not migrated (budget exhausted)
-	WriteAllocFallbacks int64 // steered writes that fell back to the home disk
+	Migrations        int64 // hot-read pages copied to staging
+	MigrationsSkipped int64 // hot pages not migrated (budget exhausted)
+	// WriteAllocFallbacks counts steered writes where the allocator was
+	// actually asked for a slot and had none; WriteAllocGated counts writes
+	// that skipped allocation entirely because the rebuild-headroom gate was
+	// closed. The two are different signals — fallbacks mean the pool is
+	// exhausted, gated skips mean the gate is doing its job — and folding
+	// gated skips into WriteAllocFallbacks (as earlier versions did)
+	// overstated allocator exhaustion during rebuilds.
+	WriteAllocFallbacks int64
+	WriteAllocGated     int64
 
 	ReclaimRuns         int64 // write-back batches issued
 	ReclaimedPages      int64 // pages drained back to their home disks
@@ -85,6 +101,10 @@ type Steering struct {
 	draining   []bool // per-disk: reclaim drain in progress
 	writeCap   int    // staging write slots at construction
 	stats      Stats
+
+	// Trace, when non-nil, receives steering decisions: redirects,
+	// migrations, allocator fallbacks/gated skips, and reclaim runs.
+	Trace *obs.Tracer
 }
 
 // New wires a Steering controller onto the array. It replaces the array's
@@ -329,6 +349,11 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 		if inGC {
 			s.stats.GCPagesRedirected++
 		}
+		if s.Trace.Enabled() {
+			s.Trace.Emit(now, obs.Event{Kind: obs.KRedirectRead,
+				Dev: int32(disk), Page: int64(op.Page + i), Pages: 1,
+				Aux: int64(staged[i].Dev0), Aux2: boolInt(inGC)})
+		}
 		s.staging.Read(now, staged[i], cb)
 	}
 	for _, r := range direct {
@@ -376,6 +401,11 @@ func (s *Steering) observeRead(now sim.Time, op raid.SubOp) {
 		}
 		s.dt.Put(key, loc, false)
 		s.stats.Migrations++
+		if s.Trace.Enabled() {
+			s.Trace.Emit(now, obs.Event{Kind: obs.KMigrate,
+				Dev: int32(op.Disk), Page: int64(page), Pages: 1,
+				Aux: int64(loc.Dev0)})
+		}
 		s.staging.Write(now, loc, nil)
 	}
 }
@@ -438,9 +468,10 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 			// low the remaining writes go to the degraded array directly
 			// rather than grinding the staging devices at full occupancy.
 			headroom := !s.rebuilding || s.staging.FreeWriteSlots()*4 >= s.writeCap
+			attempted := headroom || exists
 			var loc StageLoc
 			ok := false
-			if headroom || exists {
+			if attempted {
 				loc, ok = s.staging.AllocWrite(now, disk, !s.rebuilding)
 			}
 			if ok {
@@ -453,13 +484,34 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 				if inGC {
 					s.stats.GCPagesRedirected++
 				}
+				if s.Trace.Enabled() {
+					s.Trace.Emit(now, obs.Event{Kind: obs.KRedirectWrite,
+						Dev: int32(disk), Page: int64(op.Page + i), Pages: 1,
+						Aux: int64(loc.Dev0), Aux2: boolInt(inGC)})
+				}
 				continue
 			}
-			// Staging exhausted: fall back to the home disk and drop any
-			// stale staged copy so it cannot shadow the new data. Under
-			// rebuild-time pressure, also kick the reclaimer so capacity
-			// comes back.
-			s.stats.WriteAllocFallbacks++
+			// The page goes to the home disk instead: either the allocator
+			// was asked and is exhausted (a fallback), or the rebuild
+			// headroom gate skipped the allocator entirely (a gated skip).
+			// Only genuine allocation attempts count as fallbacks.
+			if attempted {
+				s.stats.WriteAllocFallbacks++
+			} else {
+				s.stats.WriteAllocGated++
+			}
+			if s.Trace.Enabled() {
+				kind := obs.KAllocFallback
+				if !attempted {
+					kind = obs.KAllocGated
+				}
+				s.Trace.Emit(now, obs.Event{Kind: kind,
+					Dev: int32(disk), Page: int64(op.Page + i), Pages: 1,
+					Aux: int64(s.staging.FreeWriteSlots())})
+			}
+			// Under rebuild-time pressure, kick the reclaimer so capacity
+			// comes back, and drop any stale staged copy so it cannot
+			// shadow the new data.
 			if s.rebuilding && s.stagingPressure() {
 				s.DrainAll(now)
 			}

@@ -366,6 +366,38 @@ func TestStagingExhaustionFallsBack(t *testing.T) {
 	}
 }
 
+// TestRebuildHeadroomGateCountsSeparately is the regression test for the
+// fallback-counter fix: when the rebuild-headroom gate is closed the
+// allocator is never asked for a slot, so the skip must count as
+// WriteAllocGated — not WriteAllocFallbacks, which earlier versions
+// incremented even though no allocation was attempted, overstating
+// allocator exhaustion during rebuilds.
+func TestRebuildHeadroomGateCountsSeparately(t *testing.T) {
+	r := newRig(t, "reserved", DefaultConfig())
+	homeDisk, _ := r.homeOf(0)
+	// Drain the write pool below the 25% headroom threshold, but not to
+	// exhaustion: the gate (not the allocator) must be what stops steering.
+	cap := r.st.Staging().FreeWriteSlots()
+	for r.st.Staging().FreeWriteSlots()*4 >= cap {
+		if _, ok := r.st.Staging().AllocWrite(r.eng.Now(), homeDisk, false); !ok {
+			t.Fatal("pool exhausted before reaching the headroom threshold")
+		}
+	}
+	if r.st.Staging().FreeWriteSlots() == 0 {
+		t.Fatal("precondition: pool must not be exhausted")
+	}
+	r.st.SetRebuilding(r.eng.Now(), true)
+	r.arr.Write(r.eng.Now(), 0, 1, nil)
+	r.eng.Run()
+	s := r.st.Stats()
+	if s.WriteAllocGated != 1 {
+		t.Fatalf("WriteAllocGated = %d, want 1 (stats: %+v)", s.WriteAllocGated, s)
+	}
+	if s.WriteAllocFallbacks != 0 {
+		t.Fatalf("WriteAllocFallbacks = %d, want 0 — gate skips must not count as allocator exhaustion", s.WriteAllocFallbacks)
+	}
+}
+
 func TestRedirectRatioUnderHotWorkload(t *testing.T) {
 	r := newRig(t, "reserved", DefaultConfig())
 	rng := rand.New(rand.NewSource(5))

@@ -3,6 +3,7 @@ package fault
 import (
 	"fmt"
 
+	"gcsteering/internal/obs"
 	"gcsteering/internal/raid"
 	"gcsteering/internal/rebuild"
 	"gcsteering/internal/sim"
@@ -55,6 +56,10 @@ type Controller struct {
 	OnFail         func(now sim.Time, disk int)
 	OnRebuildStart func(now sim.Time, disk int)
 	OnRepair       func(now sim.Time, disk int)
+
+	// Trace, when non-nil, receives disk-fail and disk-repair events. The
+	// rebuilders the controller launches inherit it.
+	Trace *obs.Tracer
 
 	stats         Stats
 	degradedSince sim.Time // -1 when fully redundant
@@ -109,9 +114,15 @@ func (c *Controller) fail(now sim.Time, disk int) {
 		// Beyond the layout's tolerance: the array is lost. Record it and
 		// keep simulating — the run's results carry the verdict.
 		c.stats.ArrayFailures++
+		if c.Trace.Enabled() {
+			c.Trace.Emit(now, obs.Event{Kind: obs.KDiskFail, Dev: int32(disk), Page: -1, Aux: 1})
+		}
 		return
 	}
 	c.stats.Failures++
+	if c.Trace.Enabled() {
+		c.Trace.Emit(now, obs.Event{Kind: obs.KDiskFail, Dev: int32(disk), Page: -1})
+	}
 	if disk < len(c.injs) {
 		c.injs[disk].markFailed()
 	}
@@ -155,6 +166,7 @@ func (c *Controller) startRebuild(now sim.Time) {
 		c.fault(fmt.Sprintf("fault: rebuild of disk %d: %v", disk, err))
 		return
 	}
+	rb.Trace = c.Trace
 	start := now
 	rb.OnComplete = func(end sim.Time) {
 		rs := rb.Stats()
@@ -166,6 +178,9 @@ func (c *Controller) startRebuild(now sim.Time) {
 		if err := c.arr.RepairDisk(replacement); err != nil {
 			c.fault(fmt.Sprintf("fault: repair of disk %d: %v", disk, err))
 			return
+		}
+		if c.Trace.Enabled() {
+			c.Trace.Emit(end, obs.Event{Kind: obs.KDiskRepair, Dev: int32(disk), Page: -1})
 		}
 		if c.OnRepair != nil {
 			c.OnRepair(end, disk)

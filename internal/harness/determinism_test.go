@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gcsteering"
+)
+
+// TestGridDeterministicAcrossWorkers pins the harness's core contract: each
+// grid cell is a self-contained deterministic simulation, so the worker
+// count is pure parallelism — the same Options must produce the identical
+// Grid whether cells run serially or fanned out.
+func TestGridDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	serial := tinyOptions()
+	serial.MaxRequests = 400
+	serial.Workers = 1
+	fanned := serial
+	fanned.Workers = runtime.GOMAXPROCS(0)
+
+	gs, err := Fig7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := Fig7(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gs.Mean, gf.Mean) {
+		t.Errorf("primary metric differs across worker counts:\nserial: %v\nfanned: %v", gs.Mean, gf.Mean)
+	}
+	if !reflect.DeepEqual(gs.Aux, gf.Aux) {
+		t.Errorf("aux metrics differ across worker counts")
+	}
+}
+
+// TestTraceDeterministic asserts the tracer's byte stream is a pure function
+// of (Config, seed): two identically configured systems replaying the same
+// workload emit identical JSONL.
+func TestTraceDeterministic(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		cfg := tinyOptions().Base()
+		cfg.Trace = gcsteering.NewTracer(&buf)
+		sys, err := gcsteering.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sys.GenerateWorkload("HPC_W", 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Replay(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Trace.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different traces (%d vs %d bytes)", len(a), len(b))
+	}
+	if !strings.HasPrefix(string(a), `{"t":`) {
+		t.Errorf("trace does not start with a JSON line: %.80s", a)
+	}
+}
+
+func TestRebuildBandwidthMBps(t *testing.T) {
+	const capacity = int64(1 << 30) // 1 GiB across the array
+	if _, err := rebuildBandwidthMBps(capacity, 5, nil); err == nil {
+		t.Error("empty trace must be an error, not a zero-duration division")
+	}
+
+	// A degenerate trace whose last arrival is at t=0 used to divide by
+	// zero and request +Inf MB/s from the rebuilder.
+	zero := gcsteering.Trace{{Timestamp: 0, Offset: 0, Size: 4096}}
+	bw, err := rebuildBandwidthMBps(capacity, 5, zero)
+	if err != nil {
+		t.Fatalf("t=0 trace: %v", err)
+	}
+	if math.IsInf(bw, 0) || math.IsNaN(bw) || bw <= 0 {
+		t.Fatalf("t=0 trace: bandwidth = %v, want finite positive", bw)
+	}
+
+	// A healthy trace: one member's share of the capacity spread over the
+	// trace duration.
+	tr := gcsteering.Trace{
+		{Timestamp: 0, Offset: 0, Size: 4096},
+		{Timestamp: 2_000_000_000, Offset: 4096, Size: 4096}, // 2 s
+	}
+	bw, err = rebuildBandwidthMBps(capacity, 5, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(capacity) / 4 / 1e6 / 2
+	if math.Abs(bw-want) > 1e-9 {
+		t.Fatalf("bandwidth = %v, want %v", bw, want)
+	}
+}

@@ -302,9 +302,10 @@ func Fig11(o Options) (*Grid, error) {
 					// hours, longer than the one-hour traces, so recovery is
 					// under way for the entire replay. Scale the bandwidth
 					// cap so the simulated rebuild likewise spans the trace.
-					dur := tr[len(tr)-1].Timestamp.Seconds()
-					diskBytes := float64(rebSys.Capacity()) / float64(cfg.Disks-1)
-					bw := diskBytes / 1e6 / dur
+					bw, err := rebuildBandwidthMBps(rebSys.Capacity(), cfg.Disks, tr)
+					if err != nil {
+						return nil, err
+					}
 					reb, err := rebSys.ReplayDuringRebuild(tr, 2, bw, v.target)
 					if err != nil {
 						return nil, err
@@ -332,6 +333,28 @@ func Fig11(o Options) (*Grid, error) {
 type rebuildPair struct {
 	normal  *gcsteering.Results
 	rebuild *gcsteering.Results
+}
+
+// minRebuildTraceSeconds floors the trace duration used to scale the
+// rebuild bandwidth, so degenerate traces (a single request, or every
+// arrival stamped t=0) yield a finite — if very high — bandwidth cap
+// instead of +Inf.
+const minRebuildTraceSeconds = 1e-3
+
+// rebuildBandwidthMBps computes the rebuild bandwidth cap (MB/s) that makes
+// reconstructing one member of a disks-wide array with the given total
+// logical capacity span the trace's duration. An empty trace has no
+// duration to span and is an error.
+func rebuildBandwidthMBps(capacityBytes int64, disks int, tr gcsteering.Trace) (float64, error) {
+	if len(tr) == 0 {
+		return 0, fmt.Errorf("rebuild bandwidth: empty trace has no duration to scale against")
+	}
+	dur := tr[len(tr)-1].Timestamp.Seconds()
+	if dur < minRebuildTraceSeconds {
+		dur = minRebuildTraceSeconds
+	}
+	diskBytes := float64(capacityBytes) / float64(disks-1)
+	return diskBytes / 1e6 / dur, nil
 }
 
 // RAID6 exercises the paper's future-work direction: the same scheme
@@ -368,18 +391,37 @@ func RAID6(o Options) (*Grid, error) {
 // LGC's staggered collections keep the array almost continuously degraded
 // (the paper's "degraded performance state almost all the time"), GGC
 // concentrates the degradation, and GC-Steering flattens it.
+//
+// Fig1 is the tracing-aware experiment: its three runs are sequential, so
+// Options.Trace (separated by run-start events labelled "fig1/<scheme>")
+// and Options.SeriesOut (one labelled CSV block per scheme, with per-window
+// P99 enabled) are honoured here.
 func Fig1(o Options) (string, error) {
 	var b strings.Builder
 	fmt.Fprintln(&b, "== Figure 1: GC-induced performance variability (HPC_W timeline) ==")
+	header := true
 	for _, v := range schemeVariants {
 		cfg := o.base()
 		v.set(&cfg)
+		cfg.Trace = o.Trace
+		if o.SeriesOut != nil {
+			cfg.WindowQuantiles = true
+		}
+		if cfg.Trace.Enabled() {
+			cfg.Trace.RunStart(0, "fig1/"+v.name)
+		}
 		res, err := replayCell(cfg, "HPC_W", o.maxRequests(), 0)
 		if err != nil {
 			return "", err
 		}
 		fmt.Fprintf(&b, "%-12s cv=%.2f  mean=%8.1fµs  |%s|\n",
-			v.name, res.VariabilityCV, res.Latency.Mean/1e3, res.Timeline)
+			v.name, res.VariabilityCV, res.Latency.Mean/1e3, res.Series.Sparkline(60))
+		if o.SeriesOut != nil {
+			if err := res.Series.WriteCSV(o.SeriesOut, v.name, header); err != nil {
+				return "", err
+			}
+			header = false
+		}
 	}
 	fmt.Fprintln(&b, "(each cell is the mean response time of one 100ms window; taller = slower)")
 	return b.String(), nil

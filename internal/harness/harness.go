@@ -11,6 +11,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sort"
@@ -37,6 +38,16 @@ type Options struct {
 	Repeats int
 	// Base overrides the per-cell base configuration (nil = BaseConfig).
 	Base func() gcsteering.Config
+	// Trace, when non-nil, receives the structured event stream of the
+	// sequential tracing-aware experiments (currently Fig1, which separates
+	// its per-scheme runs with run-start events). Parallel grid experiments
+	// ignore it: one tracer cannot be shared between concurrently running
+	// engines. The caller flushes it.
+	Trace *gcsteering.Tracer
+	// SeriesOut, when non-nil, receives the windowed time series of
+	// tracing-aware experiments as CSV (Fig1 writes one labelled block per
+	// scheme and enables per-window quantiles for those runs).
+	SeriesOut io.Writer
 }
 
 func (o Options) maxRequests() int {

@@ -129,9 +129,10 @@ func (h *Hist) Max() int64 { return h.max }
 // Sum returns the sum of all samples.
 func (h *Hist) Sum() float64 { return h.sum }
 
-// Quantile returns an approximation of the q-quantile (0 <= q <= 1). The
-// exact min and max are returned at the extremes so tail reporting never
-// understates the worst observation.
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
+// the nearest-rank definition: the bucket holding the ceil(q*n)-th smallest
+// sample. The exact min and max are returned at the extremes so tail
+// reporting never understates the worst observation.
 func (h *Hist) Quantile(q float64) int64 {
 	if h.n == 0 {
 		return 0
@@ -142,14 +143,23 @@ func (h *Hist) Quantile(q float64) int64 {
 	if q >= 1 {
 		return h.max
 	}
+	// Nearest rank, 1-indexed. ceil without math: q*n is exceeded by at
+	// most one whole sample, so P99 of exactly 100 samples is the 99th,
+	// not the 100th.
 	rank := uint64(q * float64(h.n))
-	if rank >= h.n {
-		rank = h.n - 1
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
 	}
 	var cum uint64
 	for i, c := range h.counts {
 		cum += c
-		if cum > rank {
+		if cum >= rank {
 			lo := bucketLow(i)
 			if lo < h.min {
 				lo = h.min

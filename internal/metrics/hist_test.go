@@ -94,6 +94,40 @@ func TestQuantileAccuracyUniform(t *testing.T) {
 	}
 }
 
+// TestQuantileNearestRank pins the nearest-rank definition (the bucket of
+// the ceil(q*n)-th smallest sample) with values < subBuckets, where the
+// histogram is exact. The off-by-one this guards against: P99 of exactly
+// 100 samples must be the 99th smallest, not the 100th — 99 fast samples
+// and one outlier have a P99 equal to the fast value, not the outlier.
+func TestQuantileNearestRank(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []int64
+		q    float64
+		want int64
+	}{
+		{"p99 of 99 fast + 1 outlier is fast", nil, 0.99, 1},
+		{"median of odd count rounds up", []int64{1, 2, 3}, 0.5, 2},
+		{"median of even count is lower middle", []int64{1, 2, 3, 4}, 0.5, 2},
+		{"q just above a rank boundary advances", []int64{1, 2, 3, 4}, 0.76, 4},
+		{"q exactly on a rank boundary does not", []int64{1, 2, 3, 4}, 0.75, 3},
+		{"p90 of ten samples is the 9th", []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 0.9, 8},
+	}
+	cases[0].vals = append(make([]int64, 0, 100), 15)
+	for i := 0; i < 99; i++ {
+		cases[0].vals = append(cases[0].vals, 1)
+	}
+	for _, tc := range cases {
+		var h Hist
+		for _, v := range tc.vals {
+			h.Observe(v)
+		}
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+}
+
 func TestQuantileExtremesAreExact(t *testing.T) {
 	var h Hist
 	h.Observe(3)

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Recorder is the simulator's windowed time-series collector: response-time
+// samples bucketed into fixed wall-clock windows (mean/max always; P99 when
+// quantile tracking is enabled) plus named gauges sampled on the same
+// window grid (GC-active device count, staging free slots, engine queue
+// depth). It is what the paper's Figure 1 timeline is derived from.
+//
+// The always-on footprint is deliberately small — one Welford accumulator
+// and one int64 per active window. Per-window histograms (for windowed
+// quantiles) cost ~5 KB per active window and are opt-in via quantiles.
+type Recorder struct {
+	windowNs  int64
+	quantiles bool
+
+	lat   *TimeSeries
+	hists []*Hist // parallel to windows; nil until a sample lands
+
+	gaugeNames []string
+	gauges     map[string]*gaugeSeries
+}
+
+// gaugeSeries keeps the last sample per window for one named gauge.
+type gaugeSeries struct {
+	vals []float64
+	set  []bool
+}
+
+func (g *gaugeSeries) observe(idx int, v float64) {
+	for len(g.vals) <= idx {
+		g.vals = append(g.vals, 0)
+		g.set = append(g.set, false)
+	}
+	g.vals[idx] = v
+	g.set[idx] = true
+}
+
+// NewRecorder creates a recorder with the given window length in
+// nanoseconds (must be positive). With quantiles true, each active window
+// additionally maintains a histogram so P99 can be reported per window.
+func NewRecorder(windowNs int64, quantiles bool) *Recorder {
+	return &Recorder{
+		windowNs:  windowNs,
+		quantiles: quantiles,
+		lat:       NewTimeSeries(windowNs),
+		gauges:    make(map[string]*gaugeSeries),
+	}
+}
+
+// WindowNs returns the bucket width.
+func (r *Recorder) WindowNs() int64 { return r.windowNs }
+
+// Quantiles reports whether per-window quantile tracking is enabled.
+func (r *Recorder) Quantiles() bool { return r.quantiles }
+
+// Observe records a response-time sample observed at time t (both ns).
+func (r *Recorder) Observe(t, value int64) {
+	r.lat.Observe(t, value)
+	if !r.quantiles {
+		return
+	}
+	if t < 0 {
+		t = 0
+	}
+	idx := int(t / r.windowNs)
+	for len(r.hists) <= idx {
+		r.hists = append(r.hists, nil)
+	}
+	if r.hists[idx] == nil {
+		r.hists[idx] = &Hist{}
+	}
+	r.hists[idx].Observe(value)
+}
+
+// SetGauge records the latest value of a named gauge at time t. The value
+// observed last within each window wins; windows with no observation stay
+// empty. Gauges appear in CSV output in first-use order.
+func (r *Recorder) SetGauge(name string, t int64, v float64) {
+	r.GaugeHandle(name).Set(t, v)
+}
+
+// Gauge is a pre-resolved handle on one named gauge, for hot paths that
+// sample the same gauge once per simulated I/O: it skips the name lookup
+// SetGauge pays on every call.
+type Gauge struct {
+	windowNs int64
+	g        *gaugeSeries
+}
+
+// GaugeHandle returns a reusable handle for the named gauge, registering it
+// on first use.
+func (r *Recorder) GaugeHandle(name string) Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &gaugeSeries{}
+		r.gauges[name] = g
+		r.gaugeNames = append(r.gaugeNames, name)
+	}
+	return Gauge{windowNs: r.windowNs, g: g}
+}
+
+// Set records the latest value of the gauge at time t (same semantics as
+// Recorder.SetGauge).
+func (g Gauge) Set(t int64, v float64) {
+	if t < 0 {
+		t = 0
+	}
+	g.g.observe(int(t/g.windowNs), v)
+}
+
+// Windows returns the number of latency windows (including empty interior
+// ones).
+func (r *Recorder) Windows() int { return r.lat.Windows() }
+
+// Count returns the number of latency samples in window i.
+func (r *Recorder) Count(i int) uint64 { return r.lat.Count(i) }
+
+// Mean returns the mean response time of window i.
+func (r *Recorder) Mean(i int) float64 { return r.lat.Mean(i) }
+
+// Max returns the largest response time of window i.
+func (r *Recorder) Max(i int) int64 { return r.lat.Max(i) }
+
+// P99 returns the 99th-percentile response time of window i, or 0 when the
+// window is empty or quantile tracking is disabled.
+func (r *Recorder) P99(i int) int64 {
+	if i < 0 || i >= len(r.hists) || r.hists[i] == nil {
+		return 0
+	}
+	return r.hists[i].Quantile(0.99)
+}
+
+// Gauge returns the last value of the named gauge in window i and whether
+// the window saw an observation.
+func (r *Recorder) Gauge(name string, i int) (float64, bool) {
+	g := r.gauges[name]
+	if g == nil || i < 0 || i >= len(g.vals) || !g.set[i] {
+		return 0, false
+	}
+	return g.vals[i], true
+}
+
+// GaugeNames returns the registered gauge names in first-use order.
+func (r *Recorder) GaugeNames() []string {
+	return append([]string(nil), r.gaugeNames...)
+}
+
+// Means returns the per-window mean response times of non-empty windows.
+func (r *Recorder) Means() []float64 { return r.lat.Means() }
+
+// VariabilityCV returns the coefficient of variation of per-window means —
+// the paper's Figure 1 "performance variability" in one number.
+func (r *Recorder) VariabilityCV() float64 { return r.lat.VariabilityCV() }
+
+// Sparkline renders the per-window means as a compact ASCII profile.
+func (r *Recorder) Sparkline(width int) string { return r.lat.Sparkline(width) }
+
+// totalWindows is the row count CSV export covers: latency and gauge series
+// may extend past each other, so take the union.
+func (r *Recorder) totalWindows() int {
+	n := r.lat.Windows()
+	for _, g := range r.gauges {
+		if len(g.vals) > n {
+			n = len(g.vals)
+		}
+	}
+	return n
+}
+
+// WriteCSV emits the series as CSV rows, one per window (empty interior
+// windows included so the time axis stays uniform). label, when non-empty,
+// is prepended as a "run" column — multi-run experiments (Fig. 1's three
+// schemes) share one file this way. Set header to write the column header
+// first. Columns:
+//
+//	[run,]window,start_ms,samples,mean_us,max_us[,p99_us][,<gauge>...]
+//
+// Gauge columns are blank for windows without an observation.
+func (r *Recorder) WriteCSV(w io.Writer, label string, header bool) error {
+	names := append([]string(nil), r.gaugeNames...)
+	sort.Strings(names)
+	if header {
+		cols := []string{"window", "start_ms", "samples", "mean_us", "max_us"}
+		if r.quantiles {
+			cols = append(cols, "p99_us")
+		}
+		cols = append(cols, names...)
+		if label != "" {
+			cols = append([]string{"run"}, cols...)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+			return err
+		}
+	}
+	n := r.totalWindows()
+	for i := 0; i < n; i++ {
+		var b strings.Builder
+		if label != "" {
+			fmt.Fprintf(&b, "%s,", label)
+		}
+		fmt.Fprintf(&b, "%d,%.1f,%d,%.1f,%.1f",
+			i, float64(int64(i)*r.windowNs)/1e6, r.Count(i), r.Mean(i)/1e3, float64(r.Max(i))/1e3)
+		if r.quantiles {
+			fmt.Fprintf(&b, ",%.1f", float64(r.P99(i))/1e3)
+		}
+		for _, name := range names {
+			if v, ok := r.Gauge(name, i); ok {
+				fmt.Fprintf(&b, ",%g", v)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

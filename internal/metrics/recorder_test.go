@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+const recWindow = int64(100e6) // 100 ms in ns
+
+func TestRecorderWindowsAndMeans(t *testing.T) {
+	r := NewRecorder(recWindow, false)
+	r.Observe(0, 1000)
+	r.Observe(recWindow-1, 3000)  // same window
+	r.Observe(2*recWindow+5, 500) // window 2; window 1 left empty
+	if got := r.Windows(); got != 3 {
+		t.Fatalf("Windows() = %d, want 3", got)
+	}
+	if got := r.Count(0); got != 2 {
+		t.Errorf("Count(0) = %d, want 2", got)
+	}
+	if got := r.Mean(0); got != 2000 {
+		t.Errorf("Mean(0) = %g, want 2000", got)
+	}
+	if got := r.Max(0); got != 3000 {
+		t.Errorf("Max(0) = %d, want 3000", got)
+	}
+	if got := r.Count(1); got != 0 {
+		t.Errorf("Count(1) = %d, want 0 (empty interior window)", got)
+	}
+	if got := r.Mean(2); got != 500 {
+		t.Errorf("Mean(2) = %g, want 500", got)
+	}
+}
+
+func TestRecorderQuantilesOptIn(t *testing.T) {
+	off := NewRecorder(recWindow, false)
+	on := NewRecorder(recWindow, true)
+	for i := 0; i < 99; i++ {
+		off.Observe(10, 1)
+		on.Observe(10, 1)
+	}
+	off.Observe(10, 15)
+	on.Observe(10, 15)
+	if got := off.P99(0); got != 0 {
+		t.Errorf("disabled P99 = %d, want 0", got)
+	}
+	if got := on.P99(0); got != 1 {
+		t.Errorf("P99 of 99x1 + 1x15 = %d, want 1 (nearest rank)", got)
+	}
+	if got := on.P99(5); got != 0 {
+		t.Errorf("P99 of out-of-range window = %d, want 0", got)
+	}
+}
+
+func TestRecorderGauges(t *testing.T) {
+	r := NewRecorder(recWindow, false)
+	r.SetGauge("gc_active", 10, 1)
+	r.SetGauge("gc_active", recWindow/2, 3) // same window: last wins
+	r.SetGauge("queue", 3*recWindow+1, 42)
+	if v, ok := r.Gauge("gc_active", 0); !ok || v != 3 {
+		t.Errorf("Gauge(gc_active, 0) = %g, %v; want 3, true", v, ok)
+	}
+	if _, ok := r.Gauge("gc_active", 1); ok {
+		t.Error("Gauge(gc_active, 1) reports a value for an empty window")
+	}
+	if v, ok := r.Gauge("queue", 3); !ok || v != 42 {
+		t.Errorf("Gauge(queue, 3) = %g, %v; want 42, true", v, ok)
+	}
+	names := r.GaugeNames()
+	if len(names) != 2 || names[0] != "gc_active" || names[1] != "queue" {
+		t.Errorf("GaugeNames() = %v, want [gc_active queue] (first-use order)", names)
+	}
+}
+
+func TestRecorderWriteCSV(t *testing.T) {
+	r := NewRecorder(recWindow, true)
+	r.Observe(0, 2000)
+	r.Observe(recWindow+1, 4000)
+	r.SetGauge("gc_active", 5, 2)
+	var b strings.Builder
+	if err := r.WriteCSV(&b, "LGC", true); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 windows:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "run,window,start_ms,samples,mean_us,max_us,p99_us,gc_active" {
+		t.Errorf("header = %q", lines[0])
+	}
+	row0 := strings.Split(lines[1], ",")
+	if row0[0] != "LGC" || row0[1] != "0" || row0[3] != "1" {
+		t.Errorf("row 0 = %q", lines[1])
+	}
+	if row0[7] != "2" {
+		t.Errorf("row 0 gauge cell = %q, want 2", row0[7])
+	}
+	row1 := strings.Split(lines[2], ",")
+	if row1[7] != "" {
+		t.Errorf("row 1 gauge cell = %q, want blank (no observation)", row1[7])
+	}
+
+	// Appending a second labelled block without a header keeps one shared
+	// header per file, the Fig. 1 multi-scheme layout.
+	if err := r.WriteCSV(&b, "GGC", false); err != nil {
+		t.Fatalf("WriteCSV(no header): %v", err)
+	}
+	all := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(all) != 5 {
+		t.Fatalf("after second block: %d lines, want 5", len(all))
+	}
+	if !strings.HasPrefix(all[3], "GGC,0,") {
+		t.Errorf("second block first row = %q", all[3])
+	}
+}
+
+func TestRecorderUnlabelledCSVOmitsRunColumn(t *testing.T) {
+	r := NewRecorder(recWindow, false)
+	r.Observe(0, 1000)
+	var b strings.Builder
+	if err := r.WriteCSV(&b, "", true); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if lines[0] != "window,start_ms,samples,mean_us,max_us" {
+		t.Errorf("header = %q", lines[0])
+	}
+}

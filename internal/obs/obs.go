@@ -1,0 +1,235 @@
+// Package obs provides the simulator's structured event tracer: a single
+// low-overhead sink that every layer of the stack (sim engine, SSD devices,
+// RAID array, steering controller, fault injector, rebuild engine) emits
+// scheduling decisions into as they happen.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when disabled. A nil *Tracer is the disabled tracer: every
+//     Emit on it is a nil-check and a return, and emit sites guard any
+//     extra field computation behind Enabled(). The replay hot path must
+//     not regress when tracing is off.
+//  2. Deterministic output. The tracer is driven by the single-threaded
+//     simulation engine, so for a fixed Config and seed the emitted byte
+//     stream is identical run to run (the determinism tests assert this).
+//     One Tracer must not be shared between concurrently running engines.
+//  3. Parseable without a schema registry. Events are newline-delimited
+//     JSON objects with a small fixed key set; the per-kind meaning of the
+//     generic fields is documented on Kind.
+//
+// The line format is:
+//
+//	{"t":<ns>,"ev":"<kind>","dev":<id>,"page":<p>,"pages":<n>,"aux":<a>,"aux2":<b>}
+//
+// plus an optional trailing `,"note":"<label>"` used by run separators.
+// Encoding is hand-rolled with strconv so a steady emit stream allocates
+// nothing after the buffer warms up.
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"gcsteering/internal/sim"
+)
+
+// Kind labels one traced event. The generic Event fields carry per-kind
+// payloads as documented on each constant.
+type Kind uint8
+
+const (
+	// KRunStart separates runs in a multi-run trace file. note = run label.
+	KRunStart Kind = iota
+	// KGCStart is a fresh garbage-collection episode. dev = device,
+	// pages = pages the plan moves, aux = planned episode end (ns),
+	// aux2 = 1 when the episode was forced (GGC), 0 when natural.
+	KGCStart
+	// KGCExtend is new collection work added to a running episode (a write
+	// drained the free pool again mid-episode). Fields as KGCStart.
+	KGCExtend
+	// KGCEnd is the end of an episode, after all extensions. dev = device.
+	KGCEnd
+	// KSubOp is one disk-level operation fanned out by the RAID engine.
+	// dev = member disk, page/pages = extent, aux = raid.OpKind,
+	// aux2 = stripe.
+	KSubOp
+	// KDegradedRead is a read served by reconstruction because its home
+	// disk is failed or errored. dev = unreachable disk, page/pages =
+	// extent.
+	KDegradedRead
+	// KURE is a latent sector error surfaced by a host read. dev = disk,
+	// page/pages = extent, aux = 1 when repaired from redundancy, 0 when
+	// the error was data loss.
+	KURE
+	// KRedirectRead is a read page served by the staging space. dev = home
+	// disk, page = home page, aux = staging device, aux2 = 1 when the home
+	// disk was collecting.
+	KRedirectRead
+	// KRedirectWrite is a write page absorbed by the staging space. Fields
+	// as KRedirectRead.
+	KRedirectWrite
+	// KMigrate is a popular read page proactively copied to staging.
+	// dev = home disk, page = home page, aux = staging device.
+	KMigrate
+	// KAllocFallback is a steered write that fell back to its home disk
+	// because the staging allocator had no suitable slot. dev = home disk,
+	// page = home page, aux = free write slots at the time.
+	KAllocFallback
+	// KAllocGated is a steered write that skipped allocation entirely
+	// because the rebuild-headroom gate was closed. Fields as
+	// KAllocFallback.
+	KAllocGated
+	// KReclaim is one reclaim write-back run. dev = home disk,
+	// page/pages = merged run, aux = free write slots after scheduling.
+	KReclaim
+	// KDiskFail is a whole-device failure. dev = disk, aux = 1 when the
+	// failure exceeded the layout's tolerance (array lost).
+	KDiskFail
+	// KDiskRepair marks a failed slot repaired after rebuild. dev = disk.
+	KDiskRepair
+	// KRebuildStart begins a reconstruction. dev = failed disk,
+	// aux = total stripes to rebuild.
+	KRebuildStart
+	// KRebuildUnit is one rebuilt unit. dev = failed disk, page/pages =
+	// unit extent, aux = units rebuilt so far, aux2 = total stripes.
+	KRebuildUnit
+	// KRebuildDone completes a reconstruction. dev = failed disk,
+	// aux = rebuild duration (ns).
+	KRebuildDone
+	// KArrival is a user request entering the array. page/pages = logical
+	// extent, aux = 1 for writes, aux2 = request sequence number.
+	KArrival
+	// KComplete is a user request finishing. aux = response time (ns),
+	// aux2 = request sequence number.
+	KComplete
+
+	kindCount
+)
+
+var kindNames = [kindCount]string{
+	KRunStart:      "run-start",
+	KGCStart:       "gc-start",
+	KGCExtend:      "gc-extend",
+	KGCEnd:         "gc-end",
+	KSubOp:         "subop",
+	KDegradedRead:  "degraded-read",
+	KURE:           "ure",
+	KRedirectRead:  "redirect-read",
+	KRedirectWrite: "redirect-write",
+	KMigrate:       "migrate",
+	KAllocFallback: "alloc-fallback",
+	KAllocGated:    "alloc-gated",
+	KReclaim:       "reclaim",
+	KDiskFail:      "disk-fail",
+	KDiskRepair:    "disk-repair",
+	KRebuildStart:  "rebuild-start",
+	KRebuildUnit:   "rebuild-unit",
+	KRebuildDone:   "rebuild-done",
+	KArrival:       "arrival",
+	KComplete:      "complete",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one traced occurrence. The zero value of every field is valid;
+// use -1 for "no device"/"no page" so genuine zeros stay distinguishable.
+type Event struct {
+	Kind  Kind
+	Dev   int32 // device/disk id, -1 when not applicable
+	Page  int64 // first page of the extent, -1 when not applicable
+	Pages int32 // extent length in pages, 0 when not applicable
+	Aux   int64 // kind-specific, see Kind docs
+	Aux2  int64 // kind-specific, see Kind docs
+	Note  string
+}
+
+// Tracer serializes events to a writer as JSON lines. A nil *Tracer is the
+// disabled tracer; all methods are nil-safe. Tracer is not safe for
+// concurrent use: it belongs to exactly one simulation engine.
+type Tracer struct {
+	bw     *bufio.Writer
+	buf    []byte
+	events int64
+	err    error
+}
+
+// New returns a tracer writing to w. Call Flush before reading the output.
+func New(w io.Writer) *Tracer {
+	return &Tracer{bw: bufio.NewWriterSize(w, 64<<10), buf: make([]byte, 0, 256)}
+}
+
+// Enabled reports whether emits reach a sink. Emit sites use it to skip
+// computing event fields when tracing is off.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Events returns how many events have been emitted.
+func (t *Tracer) Events() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.events
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Emit appends one event. No-op on a nil tracer or after a write error.
+func (t *Tracer) Emit(now sim.Time, e Event) {
+	if t == nil || t.err != nil {
+		return
+	}
+	b := t.buf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(now), 10)
+	b = append(b, `,"ev":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, `","dev":`...)
+	b = strconv.AppendInt(b, int64(e.Dev), 10)
+	b = append(b, `,"page":`...)
+	b = strconv.AppendInt(b, e.Page, 10)
+	b = append(b, `,"pages":`...)
+	b = strconv.AppendInt(b, int64(e.Pages), 10)
+	b = append(b, `,"aux":`...)
+	b = strconv.AppendInt(b, e.Aux, 10)
+	b = append(b, `,"aux2":`...)
+	b = strconv.AppendInt(b, e.Aux2, 10)
+	if e.Note != "" {
+		b = append(b, `,"note":`...)
+		b = strconv.AppendQuote(b, e.Note)
+	}
+	b = append(b, '}', '\n')
+	t.buf = b
+	if _, err := t.bw.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.events++
+}
+
+// RunStart emits a run separator with the given label.
+func (t *Tracer) RunStart(now sim.Time, label string) {
+	t.Emit(now, Event{Kind: KRunStart, Dev: -1, Page: -1, Note: label})
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}

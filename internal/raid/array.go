@@ -3,8 +3,16 @@ package raid
 import (
 	"fmt"
 
+	"gcsteering/internal/obs"
 	"gcsteering/internal/sim"
 )
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
 
 // Disk is the device interface the timed array drives. *ssd.Device
 // implements it; tests substitute fixed-latency fakes.
@@ -116,6 +124,10 @@ type Array struct {
 	// user traffic off collecting disks entirely. Baseline schemes (LGC,
 	// GGC) leave it false.
 	GCAwareWrites bool
+
+	// Trace, when non-nil, receives the per-disk sub-op fan-out and the
+	// degraded-read / unrecoverable-read-error events.
+	Trace *obs.Tracer
 
 	mirrorNext int // round-robin cursor for RAID1 read balancing
 	stats      Stats
@@ -248,6 +260,11 @@ func (a *Array) issue(now sim.Time, op SubOp, done func(now sim.Time)) {
 	if a.disks[op.Disk].InGC(now) {
 		a.stats.SubOpsDuringGC++
 	}
+	if a.Trace.Enabled() {
+		a.Trace.Emit(now, obs.Event{Kind: obs.KSubOp, Dev: int32(op.Disk),
+			Page: int64(op.Page), Pages: int32(op.Pages),
+			Aux: int64(op.Kind), Aux2: int64(op.Stripe)})
+	}
 	if a.Route != nil && a.Route(now, op, done) {
 		a.stats.RoutedSubOps++
 		return
@@ -327,7 +344,12 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 			d := a.pickMirror()
 			if a.readError(now, d, e.Page, e.Pages) {
 				a.stats.UREs++
-				if alt, ok := a.pickMirrorWithout(now, d, e.Page, e.Pages); ok {
+				alt, ok := a.pickMirrorWithout(now, d, e.Page, e.Pages)
+				if a.Trace.Enabled() {
+					a.Trace.Emit(now, obs.Event{Kind: obs.KURE, Dev: int32(d),
+						Page: int64(e.Page), Pages: int32(e.Pages), Aux: boolInt(ok)})
+				}
+				if ok {
 					a.stats.URERepaired++
 					d = alt
 				} else {
@@ -342,7 +364,12 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 				// data loss and let the read occupy the channel anyway (a
 				// real drive burns the retry time before giving up).
 				a.stats.UREs++
-				if rec, ok := a.reconstructItems(e); ok {
+				rec, ok := a.reconstructItems(e)
+				if a.Trace.Enabled() {
+					a.Trace.Emit(now, obs.Event{Kind: obs.KURE, Dev: int32(e.Disk),
+						Page: int64(e.Page), Pages: int32(e.Pages), Aux: boolInt(ok)})
+				}
+				if ok {
 					a.stats.URERepaired++
 					a.stats.DegradedReads++
 					items = append(items, rec...)
@@ -356,6 +383,10 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 			// through redundancy. FailDisk never admits more failures than
 			// the layout tolerates, so reconstruction always succeeds here.
 			a.stats.DegradedReads++
+			if a.Trace.Enabled() {
+				a.Trace.Emit(now, obs.Event{Kind: obs.KDegradedRead, Dev: int32(e.Disk),
+					Page: int64(e.Page), Pages: int32(e.Pages)})
+			}
 			rec, _ := a.reconstructItems(e)
 			items = append(items, rec...)
 		}

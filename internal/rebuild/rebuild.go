@@ -9,6 +9,7 @@ package rebuild
 import (
 	"fmt"
 
+	"gcsteering/internal/obs"
 	"gcsteering/internal/raid"
 	"gcsteering/internal/sim"
 )
@@ -128,6 +129,10 @@ type Rebuilder struct {
 
 	// OnComplete, when non-nil, fires once after the last unit is written.
 	OnComplete func(now sim.Time)
+
+	// Trace, when non-nil, receives rebuild lifecycle events (start, one
+	// event per rebuilt unit, done).
+	Trace *obs.Tracer
 }
 
 // New prepares a rebuild of the array's failed disk into sink at the given
@@ -174,6 +179,10 @@ func (r *Rebuilder) Start(now sim.Time) {
 	}
 	r.running = true
 	r.stats.StartedAt = now
+	if r.Trace.Enabled() {
+		r.Trace.Emit(now, obs.Event{Kind: obs.KRebuildStart, Dev: int32(r.failed),
+			Page: -1, Aux: int64(r.stripes)})
+	}
 	r.rebuildUnit(now)
 }
 
@@ -189,6 +198,10 @@ func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
 	if r.nextSt >= r.stripes {
 		r.running = false
 		r.stats.FinishedAt = startAt
+		if r.Trace.Enabled() {
+			r.Trace.Emit(startAt, obs.Event{Kind: obs.KRebuildDone, Dev: int32(r.failed),
+				Page: -1, Aux: int64(startAt - r.stats.StartedAt)})
+		}
 		if r.OnComplete != nil {
 			r.OnComplete(startAt)
 		}
@@ -232,6 +245,11 @@ func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
 		r.sink.WriteUnit(t, base, lay.UnitPages, func(wt sim.Time) {
 			r.stats.UnitsRebuilt++
 			r.stats.PagesWritten += int64(lay.UnitPages)
+			if r.Trace.Enabled() {
+				r.Trace.Emit(wt, obs.Event{Kind: obs.KRebuildUnit, Dev: int32(r.failed),
+					Page: int64(base), Pages: int32(lay.UnitPages),
+					Aux: r.stats.UnitsRebuilt, Aux2: int64(r.stripes)})
+			}
 			next := wt
 			if earliestNext > next {
 				next = earliestNext

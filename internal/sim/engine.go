@@ -85,6 +85,9 @@ type Engine struct {
 	events    eventHeap
 	fired     uint64
 	maxEvents uint64
+
+	probe      func(now Time, pending int)
+	probeEvery uint64
 }
 
 // NewEngine returns an engine with its clock at zero and no pending events.
@@ -100,6 +103,18 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to execute.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// SetProbe installs an opt-in observability hook invoked every `every`
+// fired events with the current clock and queue depth. The time-series
+// recorder samples engine pressure through it. fn == nil (or every == 0)
+// removes the probe; disabled runs pay only a nil check per step.
+func (e *Engine) SetProbe(every uint64, fn func(now Time, pending int)) {
+	if fn == nil || every == 0 {
+		e.probe, e.probeEvery = nil, 0
+		return
+	}
+	e.probe, e.probeEvery = fn, every
+}
 
 // SetMaxEvents installs an opt-in safety budget: once more than n events
 // have fired, the next Step panics with a diagnostic instead of letting a
@@ -147,6 +162,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.fired++
 	ev.fn(e.now)
+	if e.probe != nil && e.fired%e.probeEvery == 0 {
+		e.probe(e.now, len(e.events))
+	}
 	return true
 }
 

@@ -275,6 +275,51 @@ func TestTimeConversions(t *testing.T) {
 	}
 }
 
+func TestProbeSamplesEveryNthEvent(t *testing.T) {
+	e := NewEngine()
+	type sample struct {
+		at      Time
+		pending int
+	}
+	var got []sample
+	e.SetProbe(3, func(now Time, pending int) { got = append(got, sample{now, pending}) })
+	for i := 0; i < 10; i++ {
+		e.At(Time(i)*Microsecond, func(Time) {})
+	}
+	e.Run()
+	// 10 events fire; the probe lands after events 3, 6 and 9 (1-indexed),
+	// seeing the queue depth after each.
+	want := []sample{{2 * Microsecond, 7}, {5 * Microsecond, 4}, {8 * Microsecond, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("probe fired %d times, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProbeClearedAndNilSafe(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.SetProbe(1, func(Time, int) { fired++ })
+	e.SetProbe(0, nil) // clears
+	e.At(0, func(Time) {})
+	e.Run()
+	if fired != 0 {
+		t.Errorf("cleared probe fired %d times", fired)
+	}
+	// every == 0 with a non-nil fn must also disable, not divide by zero.
+	e2 := NewEngine()
+	e2.SetProbe(0, func(Time, int) { fired++ })
+	e2.At(0, func(Time) {})
+	e2.Run()
+	if fired != 0 {
+		t.Errorf("probe with every=0 fired %d times", fired)
+	}
+}
+
 func BenchmarkEngineScheduleAndRun(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"gcsteering/internal/flash"
+	"gcsteering/internal/obs"
 	"gcsteering/internal/sim"
 )
 
@@ -95,7 +96,13 @@ type Stats struct {
 	WriteOps     int64
 	PagesRead    int64
 	PagesWritten int64
+	// GCEpisodes counts distinct collection episodes (a contiguous in-GC
+	// window). GCExtensions counts additional collection work folded into
+	// an episode already running — writes arriving mid-episode can drain
+	// the free pool below the low watermark again; that extends the window
+	// rather than starting (and re-announcing) a new episode.
 	GCEpisodes   int64
+	GCExtensions int64
 	GCPagesMoved int64
 	Erases       int64
 	ForcedGCs    int64
@@ -140,6 +147,10 @@ type Device struct {
 	// perturbed: a slow or error-prone device hurts exactly the traffic the
 	// array can observe.
 	Fault FaultHook
+
+	// Trace, when non-nil, receives GC lifecycle events (start, extend,
+	// end). A nil tracer costs one nil check per episode.
+	Trace *obs.Tracer
 }
 
 // New creates a device bound to engine eng.
@@ -306,12 +317,16 @@ func (d *Device) ForceGC(now sim.Time) {
 // startGC plans a collection episode and charges its time to the channels.
 // It may be called while an episode is already running (writes arriving
 // during a long episode can drain the free pool below the low watermark
-// again); the new work simply extends the in-GC window.
+// again); the new work then merely extends the in-GC window: it is counted
+// as a GCExtension rather than a fresh GCEpisode, and OnGCStart is NOT
+// re-fired — under GGC a re-fire would launch a redundant global forced
+// round for what is physically the same episode.
 func (d *Device) startGC(now sim.Time, targetFree, minVictims int, forced bool) {
 	plan := d.ftl.CollectUntil(targetFree, minVictims)
 	if plan.Empty() {
 		return
 	}
+	extend := d.InGC(now)
 	lat := d.cfg.Latency
 	busyBefore := d.stats.BusyTime
 	endAll := now
@@ -349,29 +364,62 @@ func (d *Device) startGC(now sim.Time, targetFree, minVictims int, forced bool) 
 		}
 		d.stats.GCWallTime += endAll - wallStart
 	}
-	if endAll > d.gcEndAt {
+	prevEnd := d.gcEndAt
+	advanced := endAll > prevEnd
+	if advanced {
 		d.gcEndAt = endAll
 	}
-	d.stats.GCEpisodes++
 	d.stats.GCPagesMoved += int64(plan.PagesMoved)
 	d.stats.Erases += int64(plan.Erases)
-	if forced {
-		d.stats.ForcedGCs++
+	if extend {
+		// Same physical episode, more work: count it as an extension and do
+		// NOT re-fire OnGCStart — under GGC that hook fans out a global
+		// forced round, and re-firing it mid-episode would launch a
+		// redundant one.
+		d.stats.GCExtensions++
+		if d.Trace.Enabled() {
+			d.Trace.Emit(now, obs.Event{Kind: obs.KGCExtend, Dev: int32(d.ID),
+				Page: -1, Pages: int32(plan.PagesMoved),
+				Aux: int64(endAll), Aux2: boolInt(forced)})
+		}
+	} else {
+		d.stats.GCEpisodes++
+		if forced {
+			d.stats.ForcedGCs++
+		}
+		if d.Trace.Enabled() {
+			d.Trace.Emit(now, obs.Event{Kind: obs.KGCStart, Dev: int32(d.ID),
+				Page: -1, Pages: int32(plan.PagesMoved),
+				Aux: int64(endAll), Aux2: boolInt(forced)})
+		}
+		if d.OnGCStart != nil {
+			d.OnGCStart(now, d)
+		}
 	}
-	if d.OnGCStart != nil {
-		d.OnGCStart(now, d)
-	}
-	if d.OnGCEnd != nil {
+	if advanced && (d.OnGCEnd != nil || d.Trace.Enabled()) {
 		end := endAll
 		d.eng.At(end, func(t sim.Time) {
-			// Guard against a later episode having extended the window
-			// (cannot happen today because startGC refuses while InGC, but
-			// the check keeps the hook safe under future policies).
-			if d.gcEndAt == end {
+			// Extensions move gcEndAt forward after this event is scheduled;
+			// the guard suppresses the stale end notification so only the
+			// event matching the episode's final end time fires the hook.
+			if d.gcEndAt != end {
+				return
+			}
+			if d.Trace.Enabled() {
+				d.Trace.Emit(t, obs.Event{Kind: obs.KGCEnd, Dev: int32(d.ID), Page: -1})
+			}
+			if d.OnGCEnd != nil {
 				d.OnGCEnd(t, d)
 			}
 		})
 	}
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (d *Device) checkRange(lpn, pages int) {

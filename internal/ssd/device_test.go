@@ -1,10 +1,13 @@
 package ssd
 
 import (
+	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"gcsteering/internal/flash"
+	"gcsteering/internal/obs"
 	"gcsteering/internal/sim"
 )
 
@@ -218,6 +221,67 @@ func TestForceGCWorksAndIsIdempotentDuringEpisode(t *testing.T) {
 		t.Fatalf("ForcedGCs = %d, want 1", d.Stats().ForcedGCs)
 	}
 	eng.Run()
+}
+
+// TestMidEpisodeWriteExtendsEpisode is the regression test for the
+// GC-accounting fix: a write arriving during a running episode that drains
+// the free pool again must EXTEND the episode (GCExtensions) rather than
+// start a new one — GCEpisodes must not grow, OnGCStart must not re-fire
+// (under GGC a re-fire launches a redundant global forced round), and the
+// episode-end hook must fire exactly once, at the final extended end.
+func TestMidEpisodeWriteExtendsEpisode(t *testing.T) {
+	eng, d := newDevice(t)
+	d.Prefill(rand.New(rand.NewSource(9)), 0.5, d.LogicalPages())
+	var buf bytes.Buffer
+	d.Trace = obs.New(&buf)
+	var starts, ends int
+	var endAt sim.Time
+	d.OnGCStart = func(now sim.Time, dev *Device) { starts++ }
+	d.OnGCEnd = func(now sim.Time, dev *Device) { ends++; endAt = now }
+	rng := rand.New(rand.NewSource(10))
+	now := driveToGC(t, eng, d, rng)
+	if got := d.Stats().GCEpisodes; got != 1 {
+		t.Fatalf("GCEpisodes = %d after first trigger, want 1", got)
+	}
+	endBefore := d.GCEndsAt()
+	// Keep writing at the same instant: the episode is still running, so
+	// draining the free pool again must fold new work into it.
+	lp := d.LogicalPages()
+	for i := 0; i < 100000 && d.Stats().GCExtensions == 0; i++ {
+		d.Write(now, rng.Intn(lp), 1, nil)
+	}
+	if d.Stats().GCExtensions == 0 {
+		t.Fatal("mid-episode writes never extended the episode")
+	}
+	if got := d.Stats().GCEpisodes; got != 1 {
+		t.Fatalf("GCEpisodes = %d after extension, want 1 (extension restarted the episode)", got)
+	}
+	if starts != 1 {
+		t.Fatalf("OnGCStart fired %d times, want 1 (re-fire would launch a redundant GGC round)", starts)
+	}
+	if got := d.GCEndsAt(); got < endBefore {
+		t.Fatalf("episode end moved backwards: %v -> %v", endBefore, got)
+	}
+	eng.Run()
+	if ends != 1 {
+		t.Fatalf("OnGCEnd fired %d times, want exactly 1", ends)
+	}
+	if endAt != d.GCEndsAt() {
+		t.Fatalf("OnGCEnd fired at %v, want final episode end %v", endAt, d.GCEndsAt())
+	}
+	if err := d.Trace.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"ev":"gc-extend"`) {
+		t.Error("trace missing gc-extend event")
+	}
+	if strings.Count(out, `"ev":"gc-start"`) != 1 {
+		t.Errorf("trace gc-start count = %d, want 1", strings.Count(out, `"ev":"gc-start"`))
+	}
+	if strings.Count(out, `"ev":"gc-end"`) != 1 {
+		t.Errorf("trace gc-end count = %d, want 1", strings.Count(out, `"ev":"gc-end"`))
+	}
 }
 
 func TestForceGCOnCleanDeviceIsNoop(t *testing.T) {

@@ -22,6 +22,10 @@ type Results struct {
 	GCEpisodes int64
 	Erases     int64
 	GGCForced  int64
+	// GCExtensions sums collection work folded into already-running
+	// episodes (mid-episode writes draining the free pool again) — these
+	// extend an episode's window rather than starting a new one.
+	GCExtensions int64
 	// ForcedEpisodes counts device GC episodes initiated by ForceGC.
 	ForcedEpisodes int64
 	// GCWallTime sums, over devices, the wall-clock time spent in the GC
@@ -47,14 +51,50 @@ type Results struct {
 
 	// VariabilityCV is the coefficient of variation of per-100 ms-window
 	// mean response times — the paper's Figure 1 "performance variability"
-	// as one number. Timeline is an ASCII profile of the same windows.
+	// as one number. Series holds the full windowed time series it is
+	// derived from (per-window mean/max/count, optional P99, and the
+	// gc_active / staging_free_write_slots gauges); render it with
+	// Series.Sparkline or export it with Series.WriteCSV.
 	VariabilityCV float64
-	Timeline      string
+	Series        *Recorder
+
+	// Phases splits response times by the system state at arrival, the
+	// per-phase breakdown behind the paper's Fig. 1 observation that the
+	// latency spikes line up with GC windows.
+	Phases PhaseLatencies
+
+	// Devices carries the per-member breakdown of the aggregate GC and
+	// endurance counters above.
+	Devices []DeviceResults
 
 	// Wear summarizes endurance: per-block erase counts across members.
 	// GC schemes that erase more (GGC's forced collections) age the flash
 	// faster — the reliability angle of §II-A.
 	Wear WearStats
+}
+
+// PhaseLatencies splits response times by what the array was doing when the
+// request arrived. The phases are exclusive: Degraded wins over GC.
+type PhaseLatencies struct {
+	// Quiet: full redundancy and no member collecting.
+	Quiet LatencySummary
+	// GC: at least one member was inside a GC episode.
+	GC LatencySummary
+	// Degraded: the array was missing at least one member.
+	Degraded LatencySummary
+}
+
+// DeviceResults is the per-member view of one run.
+type DeviceResults struct {
+	ID           int
+	GCEpisodes   int64
+	GCExtensions int64
+	ForcedGCs    int64
+	Erases       int64
+	GCWallTime   Time
+	WriteAmp     float64
+	MaxErase     int
+	MeanErase    float64
 }
 
 // WearStats aggregates per-block erase counts across all member SSDs.
@@ -102,12 +142,18 @@ func (s *System) results() *Results {
 		WriteLatency: s.writeLat.Summarize(),
 	}
 	r.Duration = s.eng.Now()
-	r.VariabilityCV = s.timeline.VariabilityCV()
-	r.Timeline = s.timeline.Sparkline(60)
+	r.VariabilityCV = s.rec.VariabilityCV()
+	r.Series = s.rec
+	r.Phases = PhaseLatencies{
+		Quiet:    s.quietLat.Summarize(),
+		GC:       s.gcLat.Summarize(),
+		Degraded: s.degLat.Summarize(),
+	}
 	var wa float64
 	for _, d := range s.devs {
 		st := d.Stats()
 		r.GCEpisodes += st.GCEpisodes
+		r.GCExtensions += st.GCExtensions
 		r.Erases += st.Erases
 		r.ForcedEpisodes += st.ForcedGCs
 		r.GCWallTime += st.GCWallTime
@@ -117,6 +163,17 @@ func (s *System) results() *Results {
 			r.Wear.MaxErase = max
 		}
 		r.Wear.MeanErase += mean / float64(len(s.devs))
+		r.Devices = append(r.Devices, DeviceResults{
+			ID:           d.ID,
+			GCEpisodes:   st.GCEpisodes,
+			GCExtensions: st.GCExtensions,
+			ForcedGCs:    st.ForcedGCs,
+			Erases:       st.Erases,
+			GCWallTime:   st.GCWallTime,
+			WriteAmp:     d.WriteAmplification(),
+			MaxErase:     max,
+			MeanErase:    mean,
+		})
 	}
 	r.WriteAmp = wa / float64(len(s.devs))
 	if s.ggc != nil {

@@ -2,11 +2,13 @@ package gcsteering
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"gcsteering/internal/core"
 	"gcsteering/internal/fault"
 	"gcsteering/internal/metrics"
+	"gcsteering/internal/obs"
 	"gcsteering/internal/raid"
 	"gcsteering/internal/rebuild"
 	"gcsteering/internal/sched"
@@ -30,7 +32,17 @@ type (
 	SteeringStats = core.Stats
 	// Time is a simulated instant/duration in nanoseconds.
 	Time = sim.Time
+	// Tracer is the structured event tracer (see Config.Trace). The emitted
+	// stream is newline-delimited JSON; the schema is documented in
+	// internal/obs and README.md.
+	Tracer = obs.Tracer
+	// Recorder is the windowed time-series collector behind Results.Series.
+	Recorder = metrics.Recorder
 )
+
+// NewTracer returns a structured event tracer writing JSON lines to w.
+// Assign it to Config.Trace and call Flush after the run.
+func NewTracer(w io.Writer) *Tracer { return obs.New(w) }
 
 // Profiles returns the paper's eight Table I workload profiles.
 func Profiles() []Profile { return workload.All() }
@@ -57,7 +69,13 @@ type System struct {
 	readLat  metrics.Hist
 	writeLat metrics.Hist
 	degLat   metrics.Hist // requests submitted while the array was degraded
-	timeline *metrics.TimeSeries
+	gcLat    metrics.Hist // submitted while >= 1 member collected (not degraded)
+	quietLat metrics.Hist // submitted with no GC and full redundancy
+	rec      *metrics.Recorder
+	gcGauge  metrics.Gauge // gc_active, sampled once per arrival
+	stGauge  metrics.Gauge // staging_free_write_slots (steering only)
+	trace    *obs.Tracer
+	reqSeq   int64
 	inFlight int
 
 	faults *fault.Controller // non-nil for ReplayWithFaults runs
@@ -77,9 +95,21 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:      cfg,
-		eng:      sim.NewEngine(),
-		timeline: metrics.NewTimeSeries(int64(100 * sim.Millisecond)),
+		cfg:   cfg,
+		eng:   sim.NewEngine(),
+		rec:   metrics.NewRecorder(int64(100*sim.Millisecond), cfg.WindowQuantiles),
+		trace: cfg.Trace,
+	}
+	s.gcGauge = s.rec.GaugeHandle("gc_active")
+	// Registered for every scheme (only steering ever sets it) so multi-run
+	// CSV exports share one column schema regardless of the scheme mix.
+	s.stGauge = s.rec.GaugeHandle("staging_free_write_slots")
+	if cfg.WindowQuantiles {
+		// Detailed-series mode also samples engine pressure: queue depth
+		// every 64 fired events, folded into the same window grid.
+		s.eng.SetProbe(64, func(now sim.Time, pending int) {
+			s.rec.SetGauge("engine_pending", int64(now), float64(pending))
+		})
 	}
 	devCfg := ssd.Config{
 		Geometry:        cfg.Flash,
@@ -98,6 +128,7 @@ func New(cfg Config) (*System, error) {
 		if cfg.ColdStreamStaging {
 			d.SetColdBoundary(cfg.diskPages()) // reserved region on a separate stream
 		}
+		d.Trace = cfg.Trace
 		d.Prefill(rand.New(rand.NewSource(rng.Int63())), cfg.PrefillOverwrite, cfg.diskPages())
 		s.devs = append(s.devs, d)
 		s.disks = append(s.disks, d)
@@ -112,6 +143,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	arr.Trace = cfg.Trace
 	s.arr = arr
 	s.hub = sched.NewHub(s.devs)
 
@@ -136,6 +168,7 @@ func New(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		st.Trace = cfg.Trace
 		s.steer = st
 		if cfg.DisableGCAwareWrites {
 			arr.GCAwareWrites = false
@@ -203,6 +236,7 @@ func (s *System) ensureSpare(seed int64) (*ssd.Device, error) {
 	// The spare starts fresh: it holds no host data until it is used as a
 	// staging space or a rebuild target.
 	spare.SetColdBoundary(0)
+	spare.Trace = s.trace
 	spare.Prefill(rand.New(rand.NewSource(seed)), 0, 0)
 	s.spare = spare
 	return spare, nil
@@ -242,16 +276,48 @@ func (s *System) submit(now sim.Time, r Record) {
 	s.inFlight++
 	record := s.measuring
 	degraded := record && s.arr.Degraded()
+	inGC := false
+	if record {
+		// Classify the request's phase at arrival (degraded wins over GC)
+		// and sample the phase-describing gauges on the same window grid.
+		n := 0
+		for _, d := range s.devs {
+			if d.InGC(now) {
+				n++
+			}
+		}
+		inGC = n > 0
+		s.gcGauge.Set(int64(now), float64(n))
+		if s.steer != nil {
+			s.stGauge.Set(int64(now), float64(s.steer.Staging().FreeWriteSlots()))
+		}
+	}
+	seq := s.reqSeq
+	s.reqSeq++
+	if s.trace.Enabled() {
+		s.trace.Emit(now, obs.Event{Kind: obs.KArrival, Dev: -1,
+			Page: int64(page), Pages: int32(pages),
+			Aux: boolInt(r.Write), Aux2: seq})
+	}
 	done := func(t sim.Time) {
 		s.inFlight--
+		d := int64(t - now)
+		if s.trace.Enabled() {
+			s.trace.Emit(t, obs.Event{Kind: obs.KComplete, Dev: -1, Page: -1,
+				Aux: d, Aux2: seq})
+		}
 		if !record {
 			return
 		}
-		d := int64(t - now)
 		s.lat.Observe(d)
-		s.timeline.Observe(int64(now), d)
-		if degraded {
+		s.rec.Observe(int64(now), d)
+		switch {
+		case degraded:
 			s.degLat.Observe(d)
+		case inGC:
+			s.gcLat.Observe(d)
+		default:
+			s.quietLat.Observe(d)
 		}
 		if r.Write {
 			s.writeLat.Observe(d)
@@ -368,6 +434,7 @@ func (s *System) ReplayDuringRebuild(tr Trace, failDisk int, bandwidthMBps float
 	if err != nil {
 		return nil, err
 	}
+	rb.Trace = s.trace
 	reclaimFirst := false
 	if s.steer != nil {
 		s.steer.SetFailedHome(failDisk)
@@ -441,6 +508,7 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctl.Trace = s.trace
 	ctl.SinkFor = s.faultSink
 	ctl.OnFail = func(now sim.Time, disk int) {
 		if s.steer == nil {
@@ -534,9 +602,17 @@ func (s *System) newReplacement() (*ssd.Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	repl.Trace = s.trace
 	s.nrepl++
 	return repl, nil
 }
 
 // Now returns the engine clock (mainly for tests and custom drivers).
 func (s *System) Now() Time { return s.eng.Now() }
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
