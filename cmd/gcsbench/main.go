@@ -8,7 +8,8 @@
 // Experiments: table1, fig1 (variability timeline), fig2, fig7a, fig7b (an
 // alias of fig7a's run that highlights GC counts), fig8, fig9, fig10,
 // fig11, raid6 (the future-work extension), endurance, faults (the
-// reliability grid under injected failures), all.
+// reliability grid under injected failures), scrub (the self-healing grid:
+// patrol scrub and GC-hedged reads under seeded latent errors), all.
 //
 // -json <path> additionally writes the machine-readable results of the run
 // (every grid's full metric tables) to the given file.
@@ -25,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -48,140 +50,183 @@ type jsonDoc struct {
 	Experiments []experimentOut `json:"experiments"`
 }
 
+// allExperiments is the -experiment all sequence.
+var allExperiments = []string{"table1", "fig1", "fig2", "fig7a", "fig8",
+	"fig9", "fig10", "fig11", "raid6", "endurance", "faults", "scrub"}
+
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses argv, executes the selected
+// experiments writing reports to stdout and diagnostics to stderr, and
+// returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|all")
-		requests   = flag.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
-		workers    = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		seed       = flag.Int64("seed", 0, "seed offset for replication")
-		repeats    = flag.Int("repeats", 1, "average each cell over this many seeds")
-		jsonPath   = flag.String("json", "", "also write results as JSON to this file")
-		tracePath  = flag.String("trace", "", "write the simulation event log (JSONL) of tracing-aware experiments (fig1) to this file")
-		seriesPath = flag.String("timeseries", "", "write the windowed latency time series (CSV) of tracing-aware experiments (fig1) to this file")
+		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|all")
+		requests   = fs.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
+		workers    = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		seed       = fs.Int64("seed", 0, "seed offset for replication")
+		repeats    = fs.Int("repeats", 1, "average each cell over this many seeds")
+		jsonPath   = fs.String("json", "", "also write results as JSON to this file")
+		tracePath  = fs.String("trace", "", "write the simulation event log (JSONL) of tracing-aware experiments (fig1) to this file")
+		seriesPath = fs.String("timeseries", "", "write the windowed latency time series (CSV) of tracing-aware experiments (fig1) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "gcsbench: "+format+"\n", args...)
+		return 1
+	}
+
+	// Resolve the experiment list before touching any output file, so a
+	// typo'd -experiment exits cleanly without side effects.
+	names := []string{strings.ToLower(*experiment)}
+	if names[0] == "all" {
+		names = allExperiments
+	}
+	for _, n := range names {
+		if !knownExperiment(n) {
+			return fail("unknown experiment %q (have %s, all)", n, strings.Join(allExperiments, ", "))
+		}
+	}
+
 	o := harness.Options{MaxRequests: *requests, Workers: *workers, Seed: *seed, Repeats: *repeats}
 	doc := jsonDoc{Requests: *requests, Seed: *seed, Repeats: *repeats}
 
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "gcsbench: "+format+"\n", args...)
-		os.Exit(1)
-	}
+	var traceFile *os.File
+	var tracer *gcsteering.Tracer
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fail("create %s: %v", *tracePath, err)
+			return fail("create %s: %v", *tracePath, err)
 		}
-		tr := gcsteering.NewTracer(f)
-		o.Trace = tr
-		defer func() {
-			if err := tr.Flush(); err != nil {
-				fail("write trace %s: %v", *tracePath, err)
-			}
-			if err := f.Close(); err != nil {
-				fail("close %s: %v", *tracePath, err)
-			}
-		}()
+		traceFile = f
+		tracer = gcsteering.NewTracer(f)
+		o.Trace = tracer
 	}
+	var seriesFile *os.File
+	var seriesBuf *bufio.Writer
 	if *seriesPath != "" {
 		f, err := os.Create(*seriesPath)
 		if err != nil {
-			fail("create %s: %v", *seriesPath, err)
+			return fail("create %s: %v", *seriesPath, err)
 		}
-		bw := bufio.NewWriter(f)
-		o.SeriesOut = bw
-		defer func() {
-			if err := bw.Flush(); err != nil {
-				fail("write timeseries %s: %v", *seriesPath, err)
-			}
-			if err := f.Close(); err != nil {
-				fail("close %s: %v", *seriesPath, err)
-			}
-		}()
+		seriesFile = f
+		seriesBuf = bufio.NewWriter(f)
+		o.SeriesOut = seriesBuf
 	}
 
-	// Each experiment renders to stdout and returns its -json entry.
-	run := func(name string) (experimentOut, error) {
-		out := experimentOut{Name: name}
-		text := func(s string, err error) error {
-			if err != nil {
-				return err
-			}
-			fmt.Print(s)
-			out.Text = s
-			return nil
-		}
-		grid := func(g *harness.Grid, err error, base string) error {
-			if err != nil {
-				return err
-			}
-			fmt.Print(g.Render(base))
-			out.Grid = g
-			return nil
-		}
-		var err error
-		switch name {
-		case "fig1":
-			err = text(harness.Fig1(o))
-		case "endurance":
-			err = text(harness.Endurance(o))
-		case "table1":
-			err = text(harness.Table1(o))
-		case "fig2":
-			err = text(harness.Fig2(o))
-		case "fig7a", "fig7b", "fig7":
-			g, e := harness.Fig7(o)
-			err = grid(g, e, "LGC")
-		case "fig8":
-			g, e := harness.Fig8(o)
-			err = grid(g, e, "5 SSDs")
-		case "fig9":
-			g, e := harness.Fig9(o)
-			err = grid(g, e, "64KB")
-		case "fig10":
-			g, e := harness.Fig10(o)
-			err = grid(g, e, "Reserved")
-		case "fig11":
-			g, e := harness.Fig11(o)
-			err = grid(g, e, "")
-		case "raid6":
-			g, e := harness.RAID6(o)
-			err = grid(g, e, "LGC")
-		case "faults":
-			g, e := harness.Faults(o)
-			err = grid(g, e, "")
-		default:
-			err = fmt.Errorf("unknown experiment %q", name)
-		}
-		if err != nil {
-			return out, err
-		}
-		fmt.Println()
-		return out, nil
-	}
-
-	names := []string{*experiment}
-	if *experiment == "all" {
-		names = []string{"table1", "fig1", "fig2", "fig7a", "fig8", "fig9", "fig10", "fig11", "raid6", "endurance", "faults"}
-	}
 	for _, n := range names {
-		out, err := run(strings.ToLower(n))
+		out, err := runOne(n, o, stdout)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gcsbench: %v\n", err)
-			os.Exit(1)
+			return fail("%v", err)
 		}
 		doc.Experiments = append(doc.Experiments, out)
+	}
+
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fail("write trace %s: %v", *tracePath, err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return fail("close %s: %v", *tracePath, err)
+		}
+	}
+	if seriesBuf != nil {
+		if err := seriesBuf.Flush(); err != nil {
+			return fail("write timeseries %s: %v", *seriesPath, err)
+		}
+		if err := seriesFile.Close(); err != nil {
+			return fail("close %s: %v", *seriesPath, err)
+		}
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gcsbench: encode json: %v\n", err)
-			os.Exit(1)
+			return fail("encode json: %v", err)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "gcsbench: write %s: %v\n", *jsonPath, err)
-			os.Exit(1)
+			return fail("write %s: %v", *jsonPath, err)
 		}
 	}
+	return 0
+}
+
+// knownExperiment reports whether name is a runnable experiment.
+func knownExperiment(name string) bool {
+	switch name {
+	case "fig1", "endurance", "table1", "fig2", "fig7a", "fig7b", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "raid6", "faults", "scrub":
+		return true
+	}
+	return false
+}
+
+// runOne executes one experiment, renders its report to stdout, and returns
+// its -json entry.
+func runOne(name string, o harness.Options, stdout io.Writer) (experimentOut, error) {
+	out := experimentOut{Name: name}
+	text := func(s string, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, s)
+		out.Text = s
+		return nil
+	}
+	grid := func(g *harness.Grid, err error, base string) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, g.Render(base))
+		out.Grid = g
+		return nil
+	}
+	var err error
+	switch name {
+	case "fig1":
+		err = text(harness.Fig1(o))
+	case "endurance":
+		err = text(harness.Endurance(o))
+	case "table1":
+		err = text(harness.Table1(o))
+	case "fig2":
+		err = text(harness.Fig2(o))
+	case "fig7a", "fig7b", "fig7":
+		g, e := harness.Fig7(o)
+		err = grid(g, e, "LGC")
+	case "fig8":
+		g, e := harness.Fig8(o)
+		err = grid(g, e, "5 SSDs")
+	case "fig9":
+		g, e := harness.Fig9(o)
+		err = grid(g, e, "64KB")
+	case "fig10":
+		g, e := harness.Fig10(o)
+		err = grid(g, e, "Reserved")
+	case "fig11":
+		g, e := harness.Fig11(o)
+		err = grid(g, e, "")
+	case "raid6":
+		g, e := harness.RAID6(o)
+		err = grid(g, e, "LGC")
+	case "faults":
+		g, e := harness.Faults(o)
+		err = grid(g, e, "")
+	case "scrub":
+		g, e := harness.Scrub(o)
+		err = grid(g, e, "")
+	default:
+		err = fmt.Errorf("unknown experiment %q", name)
+	}
+	if err != nil {
+		return out, err
+	}
+	fmt.Fprintln(stdout)
+	return out, nil
 }

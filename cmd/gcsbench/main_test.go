@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperimentExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "fig99"}, &out, &errb); code == 0 {
+		t.Fatal("unknown experiment exited 0")
+	}
+	if !strings.Contains(errb.String(), `unknown experiment "fig99"`) {
+		t.Fatalf("stderr %q lacks a clear unknown-experiment message", errb.String())
+	}
+}
+
+func TestUnknownFlagExitsNonZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code == 0 {
+		t.Fatal("unknown flag exited 0")
+	}
+}
+
+func TestUnwritableOutputPathsExitNonZero(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "out")
+	for _, flag := range []string{"-trace", "-timeseries"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-experiment", "table1", flag, bad}, &out, &errb)
+		if code == 0 {
+			t.Fatalf("%s %s exited 0", flag, bad)
+		}
+		if !strings.Contains(errb.String(), "create") {
+			t.Fatalf("%s: stderr %q lacks the create error", flag, errb.String())
+		}
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "table1", "-requests", "500"}, &out, &errb); code != 0 {
+		t.Fatalf("table1 exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Table I") {
+		t.Fatalf("stdout %q lacks the Table I report", out.String())
+	}
+}

@@ -23,6 +23,7 @@ package gcsteering
 
 import (
 	"fmt"
+	"math"
 
 	"gcsteering/internal/fault"
 	"gcsteering/internal/flash"
@@ -137,6 +138,25 @@ type Config struct {
 	// collecting disk (ablation knob; GC-Steering enables it).
 	DisableGCAwareWrites bool
 
+	// Checksums enables end-to-end page-checksum verification on the read
+	// path: silent corruption (FaultPlan.CorruptPageRate) is detected and
+	// served from RAID redundancy instead of being delivered. Off,
+	// corrupted reads pass silently.
+	Checksums bool
+	// HedgedReads races a parity reconstruct-read against direct reads
+	// whose home disk is mid-GC or fail-slow and takes the winner — the
+	// read-side dual of GC-aware write steering, cutting GC-phase read
+	// tail latency at the cost of extra sub-ops. RAID5/6 only.
+	HedgedReads bool
+	// ScrubMBps enables the patrol scrubber at this array-wide read
+	// bandwidth cap (MB/s): a background walker verifies every stripe
+	// against the seeded defects and repairs bad units in place from
+	// redundancy. <= 0 disables scrubbing.
+	ScrubMBps float64
+	// ScrubPasses is the number of full patrol passes per run (<= 0
+	// defaults to 1; passes are finite so runs always terminate).
+	ScrubPasses int
+
 	// Flash is the per-SSD geometry; Latency the flash op timing.
 	Flash   FlashGeometry
 	Latency LatencyModel
@@ -211,6 +231,16 @@ type FaultPlan struct {
 	// latent sector error. Use simulation-scale rates (1e-5 .. 1e-3); real
 	// drives quote ~1 per 1e14-1e16 bits, far too rare for short traces.
 	UREPerPageRead float64
+	// LatentPageRate seeds this fraction of each device's pages as
+	// persistent latent sector errors at run start: reads touching them
+	// error until a patrol scrub repairs them in place. Unlike the
+	// memoryless UREPerPageRead draws, these are the grown defects a scrub
+	// can find and fix before a rebuild trips over them.
+	LatentPageRate float64
+	// CorruptPageRate seeds this fraction of each device's pages as
+	// silently corrupted: reads return bad data without an error, caught
+	// only by end-to-end checksums (Config.Checksums) or the scrubber.
+	CorruptPageRate float64
 	// RepairDelayMs is the hot-spare activation lag between a failure and
 	// the automatic rebuild start.
 	RepairDelayMs float64
@@ -224,17 +254,20 @@ type FaultPlan struct {
 
 // Enabled reports whether the plan injects anything.
 func (p FaultPlan) Enabled() bool {
-	return len(p.Failures) > 0 || len(p.Slowdowns) > 0 || p.UREPerPageRead > 0
+	return len(p.Failures) > 0 || len(p.Slowdowns) > 0 || p.UREPerPageRead > 0 ||
+		p.LatentPageRate > 0 || p.CorruptPageRate > 0
 }
 
 // plan lowers the public spec (milliseconds, microseconds) to the internal
 // fault schedule (engine nanoseconds), deriving the URE streams from seed.
 func (p FaultPlan) plan(seed int64) fault.Plan {
 	out := fault.Plan{
-		UREPerPageRead: p.UREPerPageRead,
-		RepairDelay:    sim.Time(p.RepairDelayMs * float64(sim.Millisecond)),
-		RebuildMBps:    p.RebuildMBps,
-		Seed:           seed,
+		UREPerPageRead:  p.UREPerPageRead,
+		LatentPageRate:  p.LatentPageRate,
+		CorruptPageRate: p.CorruptPageRate,
+		RepairDelay:     sim.Time(p.RepairDelayMs * float64(sim.Millisecond)),
+		RebuildMBps:     p.RebuildMBps,
+		Seed:            seed,
 	}
 	for _, f := range p.Failures {
 		out.Failures = append(out.Failures, fault.DiskFailure{
@@ -306,10 +339,16 @@ func (c Config) Validate() error {
 	if c.Scheme == SchemeSteering && c.Staging == StagingReserved && c.ReservedFrac == 0 {
 		return fmt.Errorf("gcsteering: reserved staging needs ReservedFrac > 0")
 	}
+	if math.IsNaN(c.ScrubMBps) {
+		return fmt.Errorf("gcsteering: ScrubMBps is NaN")
+	}
+	if c.HedgedReads && c.Level != RAID5 && c.Level != RAID6 {
+		return fmt.Errorf("gcsteering: HedgedReads needs RAID5/6 parity (level %v)", c.Level)
+	}
 	if err := c.Flash.Validate(); err != nil {
 		return err
 	}
-	if err := c.Fault.plan(c.Seed).Validate(c.Disks); err != nil {
+	if err := c.Fault.plan(c.Seed).Validate(c.Disks, c.Flash.Channels); err != nil {
 		return err
 	}
 	return nil

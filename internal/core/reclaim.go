@@ -125,7 +125,7 @@ func (s *Steering) drainNext(now sim.Time, disk int) {
 	onRead := func(t sim.Time) {
 		remain--
 		if remain == 0 {
-			s.devs[disk].Write(t, int(run.Page), int(run.Pages), finalize)
+			must(s.devs[disk].Write(t, int(run.Page), int(run.Pages), finalize))
 		}
 	}
 	for _, sn := range snaps {

@@ -153,12 +153,12 @@ func (d *DedicatedStaging) AllocWrite(now sim.Time, exclude int, requireIdle boo
 
 // Read implements Staging.
 func (d *DedicatedStaging) Read(now sim.Time, loc StageLoc, done func(sim.Time)) {
-	d.dev.Read(now, int(loc.Page0), 1, done)
+	must(d.dev.Read(now, int(loc.Page0), 1, done))
 }
 
 // Write implements Staging.
 func (d *DedicatedStaging) Write(now sim.Time, loc StageLoc, done func(sim.Time)) {
-	d.dev.Write(now, int(loc.Page0), 1, done)
+	must(d.dev.Write(now, int(loc.Page0), 1, done))
 }
 
 // Free implements Staging.
@@ -306,14 +306,14 @@ func (r *ReservedStaging) Read(now sim.Time, loc StageLoc, done func(sim.Time)) 
 			dev, page = loc.Dev1, loc.Page1
 		}
 	}
-	r.devs[dev].Read(now, int(page), 1, done)
+	must(r.devs[dev].Read(now, int(page), 1, done))
 }
 
 // Write implements Staging: mirrored locations complete when both copies
 // are durable.
 func (r *ReservedStaging) Write(now sim.Time, loc StageLoc, done func(sim.Time)) {
 	if !loc.Mirrored() {
-		r.devs[loc.Dev0].Write(now, int(loc.Page0), 1, done)
+		must(r.devs[loc.Dev0].Write(now, int(loc.Page0), 1, done))
 		return
 	}
 	remain := 2
@@ -326,8 +326,8 @@ func (r *ReservedStaging) Write(now sim.Time, loc StageLoc, done func(sim.Time))
 	if done == nil {
 		cb = nil
 	}
-	r.devs[loc.Dev0].Write(now, int(loc.Page0), 1, cb)
-	r.devs[loc.Dev1].Write(now, int(loc.Page1), 1, cb)
+	must(r.devs[loc.Dev0].Write(now, int(loc.Page0), 1, cb))
+	must(r.devs[loc.Dev1].Write(now, int(loc.Page1), 1, cb))
 }
 
 // Free implements Staging.

@@ -17,22 +17,24 @@ type stubDisk struct {
 	writes []int
 }
 
-func (s *stubDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+func (s *stubDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) error {
 	for i := 0; i < pages; i++ {
 		s.reads = append(s.reads, page+i)
 	}
 	if done != nil {
 		s.eng.At(now+10, done)
 	}
+	return nil
 }
 
-func (s *stubDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+func (s *stubDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) error {
 	for i := 0; i < pages; i++ {
 		s.writes = append(s.writes, page+i)
 	}
 	if done != nil {
 		s.eng.At(now+100, done)
 	}
+	return nil
 }
 
 func (s *stubDisk) LogicalPages() int  { return s.pages }

@@ -8,6 +8,15 @@ import (
 	"gcsteering/internal/sim"
 )
 
+// must panics on an I/O error from a member device: steering and staging
+// ranges are derived from validated geometry, so an error here is an
+// internal invariant violation, not bad input.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func boolInt(b bool) int64 {
 	if b {
 		return 1
@@ -358,7 +367,7 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 	}
 	for _, r := range direct {
 		s.stats.DirectReads += int64(r.pages)
-		s.devs[disk].Read(now, r.page, r.pages, cb)
+		must(s.devs[disk].Read(now, r.page, r.pages, cb))
 	}
 	return true
 }
@@ -538,7 +547,7 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 	}
 	for _, r := range direct {
 		s.stats.DirectWrites += int64(r.pages)
-		s.devs[disk].Write(now, r.page, r.pages, cb)
+		must(s.devs[disk].Write(now, r.page, r.pages, cb))
 	}
 	return true
 }

@@ -23,18 +23,18 @@ func newRecDisk(d *ssd.Device) *recDisk {
 	return &recDisk{inner: d, reads: map[int]int{}, writes: map[int]int{}}
 }
 
-func (r *recDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+func (r *recDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) error {
 	for i := 0; i < pages; i++ {
 		r.reads[page+i]++
 	}
-	r.inner.Read(now, page, pages, done)
+	return r.inner.Read(now, page, pages, done)
 }
 
-func (r *recDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+func (r *recDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) error {
 	for i := 0; i < pages; i++ {
 		r.writes[page+i]++
 	}
-	r.inner.Write(now, page, pages, done)
+	return r.inner.Write(now, page, pages, done)
 }
 
 func (r *recDisk) LogicalPages() int      { return r.inner.LogicalPages() }
@@ -127,7 +127,10 @@ func newRig(t *testing.T, stagingKind string, cfg Config) *rig {
 
 // homeOf returns the home (disk, diskPage) of array page p.
 func (r *rig) homeOf(p int) (int, int) {
-	loc := r.lay.Map(p)
+	loc, err := r.lay.Map(p)
+	if err != nil {
+		panic(err)
+	}
 	return loc.Disk, loc.Page
 }
 

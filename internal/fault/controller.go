@@ -72,7 +72,11 @@ type Controller struct {
 // array members in disk order; their fault hooks are installed immediately
 // so warm traffic before Start is already subject to slowdowns and UREs.
 func NewController(eng *sim.Engine, arr *raid.Array, devs []*ssd.Device, plan Plan, pageSize int) (*Controller, error) {
-	if err := plan.Validate(arr.Layout().Disks); err != nil {
+	channels := 0
+	if len(devs) > 0 {
+		channels = devs[0].Config().Geometry.Channels
+	}
+	if err := plan.Validate(arr.Layout().Disks, channels); err != nil {
 		return nil, err
 	}
 	if pageSize <= 0 {

@@ -55,41 +55,76 @@ type Plan struct {
 	// 1e14–1e16 bits read; simulation-scale experiments use much larger
 	// values so the rare event actually occurs within a short trace.
 	UREPerPageRead float64
+	// LatentPageRate seeds this fraction of each device's pages as
+	// persistent latent sector errors at run start: every read touching a
+	// marked page surfaces an unrecoverable read error until the page is
+	// explicitly repaired (the patrol scrubber's in-place rewrite). Unlike
+	// the memoryless UREPerPageRead draws, these are the grown defects a
+	// scrub pass can find and fix before a rebuild trips over them.
+	LatentPageRate float64
+	// CorruptPageRate seeds this fraction of each device's pages as
+	// silently corrupted: the device returns bad data without an error.
+	// Only end-to-end checksum verification (raid.Array.VerifyReads, the
+	// scrubber) detects them; without it the corruption goes unnoticed.
+	CorruptPageRate float64
 	// RepairDelay is the hot-spare activation lag between a failure and
 	// the automatic rebuild start.
 	RepairDelay sim.Time
 	// RebuildMBps caps reconstruction bandwidth. Zero or negative disables
 	// automatic rebuild: the array stays degraded.
 	RebuildMBps float64
-	// Seed derives the per-device RNG streams for URE draws.
+	// Seed derives the per-device RNG streams for URE draws and the
+	// persistent latent/corrupt page sets.
 	Seed int64
 }
 
 // Empty reports whether the plan injects nothing at all.
 func (p Plan) Empty() bool {
-	return len(p.Failures) == 0 && len(p.Slowdowns) == 0 && p.UREPerPageRead <= 0
+	return len(p.Failures) == 0 && len(p.Slowdowns) == 0 &&
+		p.UREPerPageRead <= 0 && p.LatentPageRate <= 0 && p.CorruptPageRate <= 0
 }
 
-// Validate reports plan errors against an array of n member disks.
-func (p Plan) Validate(n int) error {
+// validRate reports whether r is a usable per-page probability. NaN fails
+// both of the naive `< 0 || >= 1` comparisons, so it must be rejected
+// explicitly.
+func validRate(r float64) bool {
+	return !math.IsNaN(r) && r >= 0 && r < 1
+}
+
+// Validate reports plan errors against an array of `disks` member disks,
+// each with `channels` flash channels. channels <= 0 skips the per-channel
+// range check (for callers that cannot know the device geometry).
+func (p Plan) Validate(disks, channels int) error {
 	for _, f := range p.Failures {
-		if f.Disk < 0 || f.Disk >= n {
-			return fmt.Errorf("fault: failure targets disk %d of %d", f.Disk, n)
+		if f.Disk < 0 || f.Disk >= disks {
+			return fmt.Errorf("fault: failure targets disk %d of %d", f.Disk, disks)
 		}
 		if f.At < 0 {
 			return fmt.Errorf("fault: failure of disk %d at negative time %v", f.Disk, f.At)
 		}
 	}
 	for _, s := range p.Slowdowns {
-		if s.Disk < 0 || s.Disk >= n {
-			return fmt.Errorf("fault: slowdown targets disk %d of %d", s.Disk, n)
+		if s.Disk < 0 || s.Disk >= disks {
+			return fmt.Errorf("fault: slowdown targets disk %d of %d", s.Disk, disks)
+		}
+		if s.Channel < -1 {
+			return fmt.Errorf("fault: slowdown on disk %d targets channel %d (use -1 for all)", s.Disk, s.Channel)
+		}
+		if channels > 0 && s.Channel >= channels {
+			return fmt.Errorf("fault: slowdown on disk %d targets channel %d of %d", s.Disk, s.Channel, channels)
 		}
 		if s.Start < 0 || s.Duration <= 0 || s.Extra < 0 {
 			return fmt.Errorf("fault: slowdown on disk %d has invalid window/extra", s.Disk)
 		}
 	}
-	if p.UREPerPageRead < 0 || p.UREPerPageRead >= 1 {
+	if !validRate(p.UREPerPageRead) {
 		return fmt.Errorf("fault: UREPerPageRead %v outside [0, 1)", p.UREPerPageRead)
+	}
+	if !validRate(p.LatentPageRate) {
+		return fmt.Errorf("fault: LatentPageRate %v outside [0, 1)", p.LatentPageRate)
+	}
+	if !validRate(p.CorruptPageRate) {
+		return fmt.Errorf("fault: CorruptPageRate %v outside [0, 1)", p.CorruptPageRate)
 	}
 	if p.RepairDelay < 0 {
 		return fmt.Errorf("fault: negative RepairDelay %v", p.RepairDelay)
@@ -98,24 +133,54 @@ func (p Plan) Validate(n int) error {
 }
 
 // Injector implements ssd.FaultHook for one device: it applies the plan's
-// slowdown windows and draws latent sector errors from a per-device RNG.
+// slowdown windows, draws memoryless latent sector errors from a per-device
+// RNG, and carries the persistent per-page defect sets seeded from
+// LatentPageRate/CorruptPageRate. Persistent defects survive host rewrites
+// (the defective physical region keeps resurfacing) until Repair clears
+// them — the pessimistic model that isolates the patrol scrubber's effect.
 type Injector struct {
 	dev        int
 	urePerPage float64
 	rng        *rand.Rand
-	slow       []Slowdown // this device's windows only
-	failed     bool       // UREs stop mattering once the whole device is gone
+	slow       []Slowdown   // this device's windows only
+	bad        map[int]bool // persistent latent sector errors, by page
+	corrupt    map[int]bool // persistent silent corruption, by page
+	failed     bool         // UREs stop mattering once the whole device is gone
 }
 
-// NewInjector builds the hook for device dev from the plan. The RNG stream
-// is derived from the plan seed and the device index, so runs with the
-// same plan draw identical error sequences regardless of how many devices
-// exist or in what order they are asked.
-func NewInjector(dev int, p Plan) *Injector {
+// seedPages deterministically picks round(rate*pages) distinct pages from
+// [0, pages) using an RNG stream independent of the URE draw stream.
+func seedPages(seed, salt int64, dev, pages int, rate float64) map[int]bool {
+	if rate <= 0 || pages <= 0 {
+		return nil
+	}
+	n := int(rate*float64(pages) + 0.5)
+	if n > pages {
+		n = pages
+	}
+	if n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed ^ (salt * int64(dev+1))))
+	out := make(map[int]bool, n)
+	for len(out) < n {
+		out[rng.Intn(pages)] = true
+	}
+	return out
+}
+
+// NewInjector builds the hook for device dev from the plan; pages is the
+// device's logical capacity, over which the persistent defect sets are
+// seeded. The RNG streams are derived from the plan seed and the device
+// index, so runs with the same plan draw identical error sequences
+// regardless of how many devices exist or in what order they are asked.
+func NewInjector(dev, pages int, p Plan) *Injector {
 	inj := &Injector{
 		dev:        dev,
 		urePerPage: p.UREPerPageRead,
 		rng:        rand.New(rand.NewSource(p.Seed ^ (0x5851F42D4C957F2D * int64(dev+1)))),
+		bad:        seedPages(p.Seed, 0x1E3779B97F4A7C15, dev, pages, p.LatentPageRate),
+		corrupt:    seedPages(p.Seed, 0x61C8864680B583EB, dev, pages, p.CorruptPageRate),
 	}
 	for _, s := range p.Slowdowns {
 		if s.Disk == dev {
@@ -123,6 +188,19 @@ func NewInjector(dev int, p Plan) *Injector {
 		}
 	}
 	return inj
+}
+
+// hitRange reports whether any page of [lpn, lpn+pages) is in the set.
+func hitRange(m map[int]bool, lpn, pages int) bool {
+	if len(m) == 0 {
+		return false
+	}
+	for p := lpn; p < lpn+pages; p++ {
+		if m[p] {
+			return true
+		}
+	}
+	return false
 }
 
 // OpDelay implements ssd.FaultHook: the sum of all open slowdown windows
@@ -137,15 +215,70 @@ func (i *Injector) OpDelay(now sim.Time, channel int, write bool) sim.Time {
 	return extra
 }
 
-// ReadError implements ssd.FaultHook: a Bernoulli draw with success
-// probability 1-(1-p)^pages, the chance that at least one of the pages
-// hits a latent sector error.
+// ReadError implements ssd.FaultHook. A persistent latent page in the range
+// always errors — checked first, with no RNG draw, so the memoryless stream
+// stays aligned whether or not defects are seeded. Otherwise a Bernoulli
+// draw with success probability 1-(1-p)^pages, the chance that at least one
+// of the pages hits a latent sector error.
 func (i *Injector) ReadError(now sim.Time, lpn, pages int) bool {
-	if i.urePerPage <= 0 || i.failed {
+	if i.failed {
+		return false
+	}
+	if hitRange(i.bad, lpn, pages) {
+		return true
+	}
+	if i.urePerPage <= 0 {
 		return false
 	}
 	p := 1 - math.Pow(1-i.urePerPage, float64(pages))
 	return i.rng.Float64() < p
+}
+
+// LatentError implements ssd.ScrubHook: whether [lpn, lpn+pages) holds a
+// persistent latent sector error. Unlike ReadError it draws no RNG, so the
+// scrubber can probe without perturbing the URE stream.
+func (i *Injector) LatentError(lpn, pages int) bool {
+	return !i.failed && hitRange(i.bad, lpn, pages)
+}
+
+// VerifyError implements ssd.ScrubHook: whether a checksum verification of
+// [lpn, lpn+pages) would fail from silent corruption.
+func (i *Injector) VerifyError(now sim.Time, lpn, pages int) bool {
+	return !i.failed && hitRange(i.corrupt, lpn, pages)
+}
+
+// Repair implements ssd.ScrubHook: clears every persistent defect in
+// [lpn, lpn+pages) — the effect of rewriting the range from redundancy —
+// and reports how many latent and corrupt pages were cleared.
+func (i *Injector) Repair(lpn, pages int) (latent, corrupt int) {
+	for p := lpn; p < lpn+pages; p++ {
+		if i.bad[p] {
+			delete(i.bad, p)
+			latent++
+		}
+		if i.corrupt[p] {
+			delete(i.corrupt, p)
+			corrupt++
+		}
+	}
+	return latent, corrupt
+}
+
+// SlowAt implements ssd.SlowHook: whether any slowdown window on this
+// device is open at now (the array's fail-slow signal for hedged reads).
+func (i *Injector) SlowAt(now sim.Time) bool {
+	for _, s := range i.slow {
+		if now >= s.Start && now < s.Start+s.Duration {
+			return true
+		}
+	}
+	return false
+}
+
+// BadPages returns the number of persistent latent (and corrupt) pages
+// still outstanding — what a complete scrub pass should drive to zero.
+func (i *Injector) BadPages() (latent, corrupt int) {
+	return len(i.bad), len(i.corrupt)
 }
 
 // markFailed silences further URE draws (the array no longer reads the
@@ -158,7 +291,7 @@ func (i *Injector) markFailed() { i.failed = true }
 func Install(devs []*ssd.Device, p Plan) []*Injector {
 	out := make([]*Injector, len(devs))
 	for i, d := range devs {
-		out[i] = NewInjector(i, p)
+		out[i] = NewInjector(i, d.LogicalPages(), p)
 		d.Fault = out[i]
 	}
 	return out

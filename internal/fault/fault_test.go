@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"testing"
 
 	"gcsteering/internal/raid"
@@ -18,16 +19,18 @@ type fakeDisk struct {
 	badPages map[int]bool
 }
 
-func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) error {
 	if done != nil {
 		f.eng.At(now+f.readLat, done)
 	}
+	return nil
 }
 
-func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) error {
 	if done != nil {
 		f.eng.At(now+f.writeLat, done)
 	}
+	return nil
 }
 
 func (f *fakeDisk) LogicalPages() int  { return f.pages }
@@ -80,24 +83,40 @@ func TestPlanValidate(t *testing.T) {
 		{Failures: []DiskFailure{{Disk: 0, At: -1}}},
 		{Slowdowns: []Slowdown{{Disk: -1, Duration: 1, Start: 0}}},
 		{Slowdowns: []Slowdown{{Disk: 0, Duration: 0}}},
+		{Slowdowns: []Slowdown{{Disk: 0, Channel: -2, Start: 0, Duration: 1}}},
+		{Slowdowns: []Slowdown{{Disk: 0, Channel: 8, Start: 0, Duration: 1}}},
+		{Slowdowns: []Slowdown{{Disk: 0, Start: -1, Duration: 1}}},
+		{Slowdowns: []Slowdown{{Disk: 0, Start: 0, Duration: 1, Extra: -1}}},
 		{UREPerPageRead: 1.5},
 		{UREPerPageRead: -0.1},
+		{UREPerPageRead: math.NaN()},
+		{LatentPageRate: -0.1},
+		{LatentPageRate: math.NaN()},
+		{CorruptPageRate: 1},
+		{CorruptPageRate: math.NaN()},
 		{RepairDelay: -1},
 	}
 	for i, p := range cases {
-		if err := p.Validate(5); err == nil {
+		if err := p.Validate(5, 8); err == nil {
 			t.Errorf("case %d: invalid plan %+v accepted", i, p)
 		}
 	}
 	good := Plan{
-		Failures:       []DiskFailure{{Disk: 2, At: sim.Second}},
-		Slowdowns:      []Slowdown{{Disk: 0, Channel: -1, Start: 0, Duration: sim.Second, Extra: sim.Microsecond}},
-		UREPerPageRead: 1e-4,
-		RepairDelay:    sim.Millisecond,
-		RebuildMBps:    10,
+		Failures:        []DiskFailure{{Disk: 2, At: sim.Second}},
+		Slowdowns:       []Slowdown{{Disk: 0, Channel: -1, Start: 0, Duration: sim.Second, Extra: sim.Microsecond}},
+		UREPerPageRead:  1e-4,
+		LatentPageRate:  1e-3,
+		CorruptPageRate: 1e-3,
+		RepairDelay:     sim.Millisecond,
+		RebuildMBps:     10,
 	}
-	if err := good.Validate(5); err != nil {
+	if err := good.Validate(5, 8); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
+	}
+	// channels <= 0 skips the per-channel range check.
+	wide := Plan{Slowdowns: []Slowdown{{Disk: 0, Channel: 99, Start: 0, Duration: 1}}}
+	if err := wide.Validate(5, 0); err != nil {
+		t.Fatalf("channel check not skipped with unknown geometry: %v", err)
 	}
 	if good.Empty() {
 		t.Fatal("non-empty plan reported Empty")
@@ -113,7 +132,7 @@ func TestInjectorSlowdownWindows(t *testing.T) {
 		{Disk: 1, Channel: 3, Start: 120, Duration: 10, Extra: 5},
 		{Disk: 0, Channel: -1, Start: 0, Duration: 1000, Extra: 99},
 	}}
-	inj := NewInjector(1, p)
+	inj := NewInjector(1, 8192, p)
 	if d := inj.OpDelay(99, 0, false); d != 0 {
 		t.Fatalf("delay before window = %v, want 0", d)
 	}
@@ -133,7 +152,7 @@ func TestInjectorSlowdownWindows(t *testing.T) {
 
 func TestInjectorUREDeterminism(t *testing.T) {
 	p := Plan{UREPerPageRead: 0.05, Seed: 42}
-	a, b := NewInjector(3, p), NewInjector(3, p)
+	a, b := NewInjector(3, 8192, p), NewInjector(3, 8192, p)
 	hits := 0
 	for i := 0; i < 1000; i++ {
 		ra, rb := a.ReadError(0, i, 8), b.ReadError(0, i, 8)
@@ -148,9 +167,9 @@ func TestInjectorUREDeterminism(t *testing.T) {
 		t.Fatal("0.05/page over 8-page reads never errored in 1000 draws")
 	}
 	// Different devices draw different streams.
-	other := NewInjector(4, p)
+	other := NewInjector(4, 8192, p)
 	same := true
-	aa := NewInjector(3, p)
+	aa := NewInjector(3, 8192, p)
 	for i := 0; i < 200 && same; i++ {
 		if aa.ReadError(0, i, 8) != other.ReadError(0, i, 8) {
 			same = false
@@ -162,7 +181,7 @@ func TestInjectorUREDeterminism(t *testing.T) {
 }
 
 func TestInjectorZeroRateNeverErrors(t *testing.T) {
-	inj := NewInjector(0, Plan{})
+	inj := NewInjector(0, 8192, Plan{})
 	for i := 0; i < 100; i++ {
 		if inj.ReadError(0, i, 128) {
 			t.Fatal("zero URE rate produced an error")

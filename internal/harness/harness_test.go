@@ -2,6 +2,7 @@ package harness
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -354,5 +355,86 @@ func TestRAID6Runs(t *testing.T) {
 	}
 	if g.Mean[Cell{"Fin1", "GC-Steering"}] <= 0 {
 		t.Fatal("RAID6 grid incomplete")
+	}
+}
+
+func TestScrubGridSelfHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	o := tinyOptions()
+	o.MaxRequests = 2500
+	g, err := Scrub(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Workloads) != 3 || len(g.Variants) != 4 {
+		t.Fatalf("grid shape %dx%d", len(g.Workloads), len(g.Variants))
+	}
+	for _, w := range g.Workloads {
+		for _, v := range g.Variants {
+			if g.Mean[Cell{w, v}] <= 0 {
+				t.Fatalf("missing cell %s/%s", w, v)
+			}
+		}
+	}
+	// The headline reliability claim: with the identical seeded defect plan,
+	// a patrol scrub pass before the failure strictly reduces the UREs the
+	// rebuild then encounters on the survivors.
+	ures := g.Aux["rebuild UREs"]
+	fixed := g.Aux["scrub pages fixed"]
+	for _, w := range g.Workloads {
+		if ures[Cell{w, "baseline"}] <= 0 {
+			t.Fatalf("%s: baseline rebuild saw no UREs; nothing to reduce", w)
+		}
+		if ures[Cell{w, "scrub"}] >= ures[Cell{w, "baseline"}] {
+			t.Fatalf("%s: scrub UREs %.0f not below baseline %.0f",
+				w, ures[Cell{w, "scrub"}], ures[Cell{w, "baseline"}])
+		}
+		if fixed[Cell{w, "scrub"}] <= 0 {
+			t.Fatalf("%s: scrub repaired no pages", w)
+		}
+	}
+	// The performance claim: hedged reads cut the GC-phase read tail on at
+	// least one workload.
+	p99 := g.Aux["gc-phase read p99 (µs)"]
+	hedged := g.Aux["hedged reads"]
+	improved := 0
+	for _, w := range g.Workloads {
+		if hedged[Cell{w, "hedge"}] <= 0 {
+			t.Fatalf("%s: no reads hedged", w)
+		}
+		if p99[Cell{w, "hedge"}] < p99[Cell{w, "baseline"}] {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatalf("hedging never improved gc-phase read p99: %v", p99)
+	}
+}
+
+func TestScrubGridDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	serial := tinyOptions()
+	serial.MaxRequests = 1200
+	serial.Workers = 1
+	fanned := serial
+	fanned.Workers = 4
+
+	gs, err := Scrub(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := Scrub(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gs.Mean, gf.Mean) {
+		t.Errorf("primary metric differs across worker counts:\nserial: %v\nfanned: %v", gs.Mean, gf.Mean)
+	}
+	if !reflect.DeepEqual(gs.Aux, gf.Aux) {
+		t.Errorf("aux metrics differ across worker counts")
 	}
 }

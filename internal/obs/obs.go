@@ -103,6 +103,34 @@ const (
 	// KComplete is a user request finishing. aux = response time (ns),
 	// aux2 = request sequence number.
 	KComplete
+	// KChecksumError is a read whose end-to-end checksum verification
+	// failed (silent corruption detected). dev = corrupt member,
+	// page/pages = disk extent, aux = 1 if served from redundancy.
+	KChecksumError
+	// KHedgedRead is a read raced against a parity reconstruction because
+	// its home disk was busy. dev = home disk, page/pages = disk extent,
+	// aux = 1 home mid-GC, 2 home fail-slow.
+	KHedgedRead
+	// KHedgeWin settles a hedged read. dev = home disk, aux = 1 when the
+	// reconstruction leg won, 0 when the direct read did, aux2 = elapsed
+	// time (ns) from issue to first completion.
+	KHedgeWin
+	// KScrubStart begins one patrol scrub pass. aux = pass number (from
+	// 0), aux2 = stripes to walk.
+	KScrubStart
+	// KScrubRepair is a stripe unit rewritten in place from redundancy.
+	// dev = repaired member, page/pages = disk extent, aux = latent pages
+	// cleared, aux2 = corrupt pages cleared.
+	KScrubRepair
+	// KScrubBusy is a scrub stripe deferred because a member is mid-GC.
+	// dev = collecting member, aux = retry number, aux2 = backoff (ns).
+	KScrubBusy
+	// KScrubYield is a scrub stripe deferred to foreground load. dev = the
+	// most backlogged member, aux2 = its channel backlog (ns).
+	KScrubYield
+	// KScrubDone completes one patrol pass. aux = units repaired so far,
+	// aux2 = pass duration (ns).
+	KScrubDone
 
 	kindCount
 )
@@ -128,6 +156,14 @@ var kindNames = [kindCount]string{
 	KRebuildDone:   "rebuild-done",
 	KArrival:       "arrival",
 	KComplete:      "complete",
+	KChecksumError: "checksum-error",
+	KHedgedRead:    "hedged-read",
+	KHedgeWin:      "hedge-win",
+	KScrubStart:    "scrub-start",
+	KScrubRepair:   "scrub-repair",
+	KScrubBusy:     "scrub-busy",
+	KScrubYield:    "scrub-yield",
+	KScrubDone:     "scrub-done",
 }
 
 // String returns the kind's wire name.

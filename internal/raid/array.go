@@ -15,12 +15,23 @@ func boolInt(b bool) int64 {
 }
 
 // Disk is the device interface the timed array drives. *ssd.Device
-// implements it; tests substitute fixed-latency fakes.
+// implements it; tests substitute fixed-latency fakes. Read and Write
+// return an error only for malformed page ranges — the array validates
+// requests at its own boundary, so member errors are invariant violations.
 type Disk interface {
-	Read(now sim.Time, page, pages int, done func(now sim.Time))
-	Write(now sim.Time, page, pages int, done func(now sim.Time))
+	Read(now sim.Time, page, pages int, done func(now sim.Time)) error
+	Write(now sim.Time, page, pages int, done func(now sim.Time)) error
 	LogicalPages() int
 	InGC(now sim.Time) bool
+}
+
+// must panics on an I/O error from a member disk: every sub-op range is
+// derived from layout math over requests validated at the public boundary,
+// so an error here is an internal invariant violation, not bad input.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 // OpKind labels a sub-operation so routing policies (the GC-Steering
@@ -83,6 +94,21 @@ type Faulty interface {
 	ReadError(now sim.Time, page, pages int) bool
 }
 
+// Verifier is implemented by disks whose reads can be checksum-verified
+// end to end: VerifyError reports silent corruption that a plain read
+// would deliver without complaint. *ssd.Device implements it when a
+// scrub-capable fault hook is installed.
+type Verifier interface {
+	VerifyError(now sim.Time, page, pages int) bool
+}
+
+// SlowDisk is implemented by disks that know they are currently fail-slow
+// (inside an injected slowdown window). Together with InGC it is the
+// hedged-read trigger.
+type SlowDisk interface {
+	Slow(now sim.Time) bool
+}
+
 // Stats counts array-level activity.
 type Stats struct {
 	UserReads      int64
@@ -98,8 +124,12 @@ type Stats struct {
 	SubOpsDuringGC int64 // sub-ops addressed to a disk while it was in GC
 	UREs           int64 // user reads that hit an unrecoverable read error
 	URERepaired    int64 // UREs served by reconstruction from the survivors
-	DataLossEvents int64 // UREs with no redundancy left to reconstruct from
+	DataLossEvents int64 // UREs/corruptions with no redundancy left to recover from
 	StaleSubOps    int64 // sub-ops absorbed because their disk failed mid-op
+	ChecksumErrors int64 // reads whose end-to-end checksum verification failed
+	ChecksumFixed  int64 // checksum failures served by reconstruction instead
+	HedgedReads    int64 // reads raced against a parity reconstruct-read
+	HedgeReconWins int64 // hedged reads where the reconstruction finished first
 }
 
 // Array is the timed RAID engine: it fans user requests out to member
@@ -124,6 +154,19 @@ type Array struct {
 	// user traffic off collecting disks entirely. Baseline schemes (LGC,
 	// GGC) leave it false.
 	GCAwareWrites bool
+
+	// VerifyReads enables end-to-end checksum verification on every user
+	// data read: silent corruption (Verifier.VerifyError) is detected and
+	// served from redundancy instead of being delivered, counted in
+	// ChecksumErrors/ChecksumFixed. Off, corrupted reads pass silently.
+	VerifyReads bool
+
+	// HedgedReads races a parity reconstruct-read against direct reads
+	// whose home disk is mid-GC or fail-slow and takes whichever leg
+	// finishes first — the read-side dual of GC-aware write steering. Both
+	// legs consume channel time (the loser is not cancelled), trading
+	// extra load for GC-phase tail latency. RAID5/6 only.
+	HedgedReads bool
 
 	// Trace, when non-nil, receives the per-disk sub-op fan-out and the
 	// degraded-read / unrecoverable-read-error events.
@@ -270,9 +313,9 @@ func (a *Array) issue(now sim.Time, op SubOp, done func(now sim.Time)) {
 		return
 	}
 	if op.Kind == OpDataWrite || op.Kind == OpParityWrite {
-		a.disks[op.Disk].Write(now, op.Page, op.Pages, done)
+		must(a.disks[op.Disk].Write(now, op.Page, op.Pages, done))
 	} else {
-		a.disks[op.Disk].Read(now, op.Page, op.Pages, done)
+		must(a.disks[op.Disk].Read(now, op.Page, op.Pages, done))
 	}
 }
 
@@ -296,6 +339,30 @@ func barrier(n int, done func(now sim.Time)) func(now sim.Time) {
 func (a *Array) readError(now sim.Time, d, page, pages int) bool {
 	f, ok := a.disks[d].(Faulty)
 	return ok && f.ReadError(now, page, pages)
+}
+
+// verifyError consults the member's checksum verification (if any) for
+// silent corruption on [page, page+pages). Only meaningful when
+// VerifyReads is enabled.
+func (a *Array) verifyError(now sim.Time, d, page, pages int) bool {
+	v, ok := a.disks[d].(Verifier)
+	return ok && v.VerifyError(now, page, pages)
+}
+
+// hedgeReason reports why extent e's home disk deserves a hedged read:
+// 1 when the disk is mid-GC, 2 when it is fail-slow, 0 for no hedge.
+func (a *Array) hedgeReason(now sim.Time, e Extent) int64 {
+	if a.lay.Level != RAID5 && a.lay.Level != RAID6 {
+		return 0
+	}
+	d := a.disks[e.Disk]
+	if d.InGC(now) {
+		return 1
+	}
+	if sd, ok := d.(SlowDisk); ok && sd.Slow(now) {
+		return 2
+	}
+	return 0
 }
 
 // reconstructItems returns the sub-ops that regenerate extent e without
@@ -330,14 +397,25 @@ func (a *Array) reconstructItems(e Extent) (items []SubOp, ok bool) {
 	return items, parityNeeded <= 0
 }
 
+// hedge is one extent's read raced two ways: the direct sub-op against a
+// parity reconstruction from the stripe's peers.
+type hedge struct {
+	direct SubOp
+	recon  []SubOp
+}
+
 // Read services a user read of pages logical pages starting at page. done,
-// if non-nil, fires when the last byte is available.
-func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
-	a.checkRange(page, pages)
+// if non-nil, fires when the last byte is available. A malformed range is
+// returned as an error; nothing is issued.
+func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) error {
+	exts, err := a.lay.SplitExtent(page, pages)
+	if err != nil {
+		return err
+	}
 	a.stats.UserReads++
-	exts := a.lay.SplitExtent(page, pages)
 	// Pre-count sub-ops so a single barrier covers the whole request.
 	var items []SubOp
+	var hedges []hedge
 	for _, e := range exts {
 		switch {
 		case a.lay.Level == RAID1:
@@ -351,6 +429,21 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 				}
 				if ok {
 					a.stats.URERepaired++
+					d = alt
+				} else {
+					a.stats.DataLossEvents++
+				}
+			} else if a.VerifyReads && a.verifyError(now, d, e.Page, e.Pages) {
+				// Silent corruption on the chosen mirror: fall over to a
+				// clean copy, exactly as the URE path does.
+				a.stats.ChecksumErrors++
+				alt, ok := a.pickMirrorWithout(now, d, e.Page, e.Pages)
+				if a.Trace.Enabled() {
+					a.Trace.Emit(now, obs.Event{Kind: obs.KChecksumError, Dev: int32(d),
+						Page: int64(e.Page), Pages: int32(e.Pages), Aux: boolInt(ok)})
+				}
+				if ok {
+					a.stats.ChecksumFixed++
 					d = alt
 				} else {
 					a.stats.DataLossEvents++
@@ -376,6 +469,39 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 					continue
 				}
 				a.stats.DataLossEvents++
+			} else if a.VerifyReads && a.verifyError(now, e.Disk, e.Page, e.Pages) {
+				// The read itself would succeed but deliver corrupt data:
+				// the end-to-end checksum catches it, and the extent is
+				// served from redundancy instead.
+				a.stats.ChecksumErrors++
+				rec, ok := a.reconstructItems(e)
+				if a.Trace.Enabled() {
+					a.Trace.Emit(now, obs.Event{Kind: obs.KChecksumError, Dev: int32(e.Disk),
+						Page: int64(e.Page), Pages: int32(e.Pages), Aux: boolInt(ok)})
+				}
+				if ok {
+					a.stats.ChecksumFixed++
+					a.stats.DegradedReads++
+					items = append(items, rec...)
+					continue
+				}
+				a.stats.DataLossEvents++
+			}
+			if a.HedgedReads {
+				if reason := a.hedgeReason(now, e); reason != 0 {
+					if rec, ok := a.reconstructItems(e); ok && len(rec) > 0 {
+						a.stats.HedgedReads++
+						if a.Trace.Enabled() {
+							a.Trace.Emit(now, obs.Event{Kind: obs.KHedgedRead, Dev: int32(e.Disk),
+								Page: int64(e.Page), Pages: int32(e.Pages), Aux: reason})
+						}
+						hedges = append(hedges, hedge{
+							direct: SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe},
+							recon:  rec,
+						})
+						continue
+					}
+				}
 			}
 			items = append(items, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe})
 		default:
@@ -391,22 +517,65 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) {
 			items = append(items, rec...)
 		}
 	}
-	cb := barrier(len(items), done)
+	cb := barrier(len(items)+len(hedges), done)
 	for _, op := range items {
 		a.issue(now, op, cb)
+	}
+	for _, h := range hedges {
+		a.issueHedge(now, h, cb)
+	}
+	return nil
+}
+
+// issueHedge races h.direct against the parity reconstruction h.recon and
+// reports completion when the first leg finishes. The losing leg is not
+// cancelled — as on real hardware both requests are already queued and
+// still consume channel time. The direct leg is issued first, so a tie
+// deterministically resolves to it (the engine runs same-instant events in
+// scheduling order).
+func (a *Array) issueHedge(now sim.Time, h hedge, done func(now sim.Time)) {
+	settled := false
+	settle := func(reconWon bool) func(t sim.Time) {
+		return func(t sim.Time) {
+			if settled {
+				return
+			}
+			settled = true
+			if reconWon {
+				a.stats.HedgeReconWins++
+			}
+			if a.Trace.Enabled() {
+				a.Trace.Emit(t, obs.Event{Kind: obs.KHedgeWin, Dev: int32(h.direct.Disk),
+					Page: int64(h.direct.Page), Pages: int32(h.direct.Pages),
+					Aux: boolInt(reconWon), Aux2: int64(t - now)})
+			}
+			if done != nil {
+				done(t)
+			}
+		}
+	}
+	a.issue(now, h.direct, settle(false))
+	reconDone := barrier(len(h.recon), settle(true))
+	for _, op := range h.recon {
+		a.issue(now, op, reconDone)
 	}
 }
 
 // pickMirrorWithout returns an alive mirror other than skip whose copy of
-// [page, page+pages) reads cleanly, for RAID1 URE recovery.
+// [page, page+pages) reads cleanly, for RAID1 URE and corruption recovery.
+// With VerifyReads enabled a silently-corrupt copy is rejected too.
 func (a *Array) pickMirrorWithout(now sim.Time, skip, page, pages int) (int, bool) {
 	for d := 0; d < a.lay.Disks; d++ {
 		if d == skip || !a.alive(d) {
 			continue
 		}
-		if !a.readError(now, d, page, pages) {
-			return d, true
+		if a.readError(now, d, page, pages) {
+			continue
 		}
+		if a.VerifyReads && a.verifyError(now, d, page, pages) {
+			continue
+		}
+		return d, true
 	}
 	return -1, false
 }
@@ -434,10 +603,12 @@ type stripeGroup struct {
 // (or reconstruct-write when degraded), with phase 2 starting only after
 // every phase-1 read has completed — matching the dependency structure of
 // a real RAID controller.
-func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) {
-	a.checkRange(page, pages)
+func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) error {
+	exts, err := a.lay.SplitExtent(page, pages)
+	if err != nil {
+		return err
+	}
 	a.stats.UserWrites++
-	exts := a.lay.SplitExtent(page, pages)
 
 	switch a.lay.Level {
 	case RAID0:
@@ -445,7 +616,7 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) {
 		for _, e := range exts {
 			a.issue(now, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, cb)
 		}
-		return
+		return nil
 	case RAID1:
 		alive := 0
 		for d := 0; d < a.lay.Disks; d++ {
@@ -461,7 +632,7 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) {
 				}
 			}
 		}
-		return
+		return nil
 	}
 
 	// RAID5/6: group extents by stripe.
@@ -477,6 +648,7 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) {
 	for _, g := range groups {
 		a.writeStripe(now, g, cb)
 	}
+	return nil
 }
 
 // writeStripe performs the write of one stripe's worth of extents.
@@ -680,11 +852,4 @@ func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
 		}
 	}
 	return recon < rmw
-}
-
-func (a *Array) checkRange(page, pages int) {
-	if pages <= 0 || page < 0 || page+pages > a.lay.LogicalPages() {
-		panic(fmt.Sprintf("raid: request [%d,%d) outside array of %d pages",
-			page, page+pages, a.lay.LogicalPages()))
-	}
 }

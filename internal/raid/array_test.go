@@ -18,22 +18,33 @@ type fakeDisk struct {
 	writes []SubOp
 }
 
-func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) error {
 	f.reads = append(f.reads, SubOp{Page: page, Pages: pages})
 	if done != nil {
 		f.eng.At(now+f.readLat, done)
 	}
+	return nil
 }
 
-func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) error {
 	f.writes = append(f.writes, SubOp{Page: page, Pages: pages})
 	if done != nil {
 		f.eng.At(now+f.writeLat, done)
 	}
+	return nil
 }
 
 func (f *fakeDisk) LogicalPages() int    { return f.pages }
 func (f *fakeDisk) InGC(t sim.Time) bool { return f.inGC }
+
+// mustMap is Layout.Map for test fixtures whose pages are in range.
+func mustMap(l Layout, p int) Loc {
+	loc, err := l.Map(p)
+	if err != nil {
+		panic(err)
+	}
+	return loc
+}
 
 func newFakeArray(t *testing.T, lay Layout) (*sim.Engine, *Array, []*fakeDisk) {
 	t.Helper()
@@ -176,7 +187,7 @@ func TestParityPagesMatchWrittenSpan(t *testing.T) {
 func TestDegradedReadFansToSurvivors(t *testing.T) {
 	eng, a, fakes := newFakeArray(t, raid5Layout())
 	lay := a.Layout()
-	target := lay.Map(0) // data unit 0 of stripe 0
+	target := mustMap(lay, 0) // data unit 0 of stripe 0
 	if err := a.FailDisk(target.Disk); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +222,7 @@ func TestDegradedReadFansToSurvivors(t *testing.T) {
 func TestDegradedWriteToFailedUnitUpdatesParityOnly(t *testing.T) {
 	eng, a, fakes := newFakeArray(t, raid5Layout())
 	lay := a.Layout()
-	target := lay.Map(0)
+	target := mustMap(lay, 0)
 	if err := a.FailDisk(target.Disk); err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +264,7 @@ func TestDegradedParityDiskWriteSkipsParity(t *testing.T) {
 	a.Write(0, 0, 1, nil)
 	eng.Run()
 	// Normal RMW path minus the parity ops.
-	target := lay.Map(0)
+	target := mustMap(lay, 0)
 	if len(fakes[target.Disk].writes) != 1 || len(fakes[target.Disk].reads) != 1 {
 		t.Fatalf("data disk ops: r=%d w=%d", len(fakes[target.Disk].reads), len(fakes[target.Disk].writes))
 	}
@@ -331,7 +342,7 @@ func TestRouteHookClaimsOps(t *testing.T) {
 		t.Fatalf("stats: %+v", a.Stats())
 	}
 	// Data write went to the router; parity write still hit the disk.
-	dataDisk := a.Layout().Map(0).Disk
+	dataDisk := mustMap(a.Layout(), 0).Disk
 	if len(fakes[dataDisk].writes) != 0 {
 		t.Fatal("claimed op still reached the disk")
 	}
@@ -347,7 +358,7 @@ func TestRouteHookClaimsOps(t *testing.T) {
 
 func TestSubOpsDuringGCCounted(t *testing.T) {
 	eng, a, fakes := newFakeArray(t, raid5Layout())
-	fakes[a.Layout().Map(0).Disk].inGC = true
+	fakes[mustMap(a.Layout(), 0).Disk].inGC = true
 	a.Read(0, 0, 1, nil)
 	eng.Run()
 	if a.Stats().SubOpsDuringGC != 1 {
@@ -405,12 +416,17 @@ func TestWriteSpanningStripesCompletesOnce(t *testing.T) {
 	}
 }
 
-func TestRequestRangePanics(t *testing.T) {
+func TestRequestRangeErrors(t *testing.T) {
 	_, a, _ := newFakeArray(t, raid5Layout())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("out-of-range request did not panic")
+	total := a.Layout().LogicalPages()
+	for _, tc := range []struct{ page, pages int }{
+		{total, 1}, {-1, 1}, {0, 0}, {total - 1, 2},
+	} {
+		if err := a.Read(0, tc.page, tc.pages, nil); err == nil {
+			t.Errorf("Read(%d,%d) did not error", tc.page, tc.pages)
 		}
-	}()
-	a.Read(0, a.Layout().LogicalPages(), 1, nil)
+		if err := a.Write(0, tc.page, tc.pages, nil); err == nil {
+			t.Errorf("Write(%d,%d) did not error", tc.page, tc.pages)
+		}
+	}
 }

@@ -162,16 +162,17 @@ func (l Layout) UnitPage(s int) int { return s * l.UnitPages }
 
 // Map translates logical array page p to its primary location. For RAID1
 // the primary is disk 0; mirrors are handled by the array. The offset
-// within the unit is preserved.
-func (l Layout) Map(p int) Loc {
+// within the unit is preserved. An out-of-range page is a caller error,
+// returned rather than panicking: Map sits on the public request path.
+func (l Layout) Map(p int) (Loc, error) {
 	if p < 0 || p >= l.LogicalPages() {
-		panic(fmt.Sprintf("raid: logical page %d outside array of %d pages", p, l.LogicalPages()))
+		return Loc{}, fmt.Errorf("raid: logical page %d outside array of %d pages", p, l.LogicalPages())
 	}
 	unit := p / l.UnitPages // global data-unit index
 	off := p % l.UnitPages
 	s := unit / l.DataDisks()
 	idx := unit % l.DataDisks()
-	return Loc{Disk: l.DataDisk(s, idx), Page: l.UnitPage(s) + off}
+	return Loc{Disk: l.DataDisk(s, idx), Page: l.UnitPage(s) + off}, nil
 }
 
 // Extent is a contiguous page run on one disk, tagged with the stripe and
@@ -186,16 +187,21 @@ type Extent struct {
 
 // SplitExtent decomposes a logical extent [page, page+pages) into per-disk
 // extents, each confined to a single stripe unit. Runs are emitted in
-// logical order.
-func (l Layout) SplitExtent(page, pages int) []Extent {
+// logical order. Malformed extents — non-positive length or any page
+// outside the array — are caller errors, returned rather than panicking:
+// SplitExtent sits on the public request path.
+func (l Layout) SplitExtent(page, pages int) ([]Extent, error) {
 	if pages <= 0 {
-		panic("raid: non-positive extent length")
+		return nil, fmt.Errorf("raid: extent [%d,%d) has non-positive length", page, page+pages)
+	}
+	if page < 0 || page+pages > l.LogicalPages() {
+		return nil, fmt.Errorf("raid: extent [%d,%d) outside array of %d pages", page, page+pages, l.LogicalPages())
 	}
 	var out []Extent
 	p := page
 	remain := pages
 	for remain > 0 {
-		loc := l.Map(p)
+		loc, _ := l.Map(p) // range validated above: Map cannot fail
 		unitOff := p % l.UnitPages
 		run := l.UnitPages - unitOff
 		if run > remain {
@@ -207,5 +213,5 @@ func (l Layout) SplitExtent(page, pages int) []Extent {
 		p += run
 		remain -= run
 	}
-	return out
+	return out, nil
 }

@@ -140,7 +140,10 @@ func TestMapBijective(t *testing.T) {
 	for _, l := range layouts() {
 		seen := make(map[Loc]int)
 		for p := 0; p < l.LogicalPages(); p++ {
-			loc := l.Map(p)
+			loc, err := l.Map(p)
+			if err != nil {
+				t.Fatalf("%v: Map(%d): %v", l.Level, p, err)
+			}
 			if loc.Disk < 0 || loc.Disk >= l.Disks {
 				t.Fatalf("%v: page %d maps to disk %d", l.Level, p, loc.Disk)
 			}
@@ -160,17 +163,12 @@ func TestMapBijective(t *testing.T) {
 	}
 }
 
-func TestMapOutOfRangePanics(t *testing.T) {
+func TestMapOutOfRangeErrors(t *testing.T) {
 	l := layouts()[2]
 	for _, p := range []int{-1, l.LogicalPages()} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Map(%d) did not panic", p)
-				}
-			}()
-			l.Map(p)
-		}()
+		if _, err := l.Map(p); err == nil {
+			t.Errorf("Map(%d) did not error", p)
+		}
 	}
 }
 
@@ -184,7 +182,10 @@ func TestSplitExtentCoversExactly(t *testing.T) {
 			if tc.page+tc.pages > total {
 				continue
 			}
-			exts := l.SplitExtent(tc.page, tc.pages)
+			exts, err := l.SplitExtent(tc.page, tc.pages)
+			if err != nil {
+				t.Fatalf("%v: SplitExtent(%d, %d): %v", l.Level, tc.page, tc.pages, err)
+			}
 			sum := 0
 			for i, e := range exts {
 				sum += e.Pages
@@ -193,7 +194,7 @@ func TestSplitExtentCoversExactly(t *testing.T) {
 				}
 				// First page of the extent must agree with Map.
 				logical := tc.page + sumBefore(exts[:i])
-				loc := l.Map(logical)
+				loc, _ := l.Map(logical)
 				if loc.Disk != e.Disk || loc.Page != e.Page {
 					t.Fatalf("%v: extent %d at %+v, Map says %+v", l.Level, i, e, loc)
 				}
@@ -213,11 +214,13 @@ func sumBefore(exts []Extent) int {
 	return s
 }
 
-func TestSplitExtentZeroPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("zero-length extent did not panic")
+func TestSplitExtentBadRangesError(t *testing.T) {
+	l := layouts()[0]
+	for _, tc := range []struct{ page, pages int }{
+		{0, 0}, {0, -1}, {-1, 1}, {l.LogicalPages(), 1}, {l.LogicalPages() - 1, 2},
+	} {
+		if _, err := l.SplitExtent(tc.page, tc.pages); err == nil {
+			t.Errorf("SplitExtent(%d, %d) did not error", tc.page, tc.pages)
 		}
-	}()
-	layouts()[0].SplitExtent(0, 0)
+	}
 }

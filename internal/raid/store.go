@@ -3,18 +3,30 @@ package raid
 import (
 	"bytes"
 	"fmt"
+	"hash/crc32"
 )
+
+// crcTab is the Castagnoli polynomial used for the store's per-page
+// end-to-end checksums (the same choice as btrfs and iSCSI).
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
 
 // Store is a byte-accurate, untimed RAID array: it really stores data
 // across per-disk buffers using the Layout's placement and the parity
 // codecs. It exists to prove the layout and codec math end to end — every
 // degraded read and every reconstruction consults only surviving disks —
 // and doubles as the reference model for the simulator's addressing.
+//
+// Every page carries a CRC32-C maintained on write and verified on read:
+// silent corruption (Corrupt, or any stray write) is detected and repaired
+// in place from redundancy, never silently returned.
 type Store struct {
 	lay      Layout
 	pageSize int
 	disks    [][]byte
-	failed   []int // failed disk ids (RAID6 tolerates two)
+	sums     [][]uint32 // per-disk per-page CRC32-C of page contents
+	failed   []int      // failed disk ids (RAID6 tolerates two)
+
+	readRepairs int64 // pages repaired in place by checksum-verifying reads
 }
 
 // NewStore creates a zero-filled store.
@@ -27,10 +39,46 @@ func NewStore(lay Layout, pageSize int) (*Store, error) {
 	}
 	s := &Store{lay: lay, pageSize: pageSize}
 	s.disks = make([][]byte, lay.Disks)
+	s.sums = make([][]uint32, lay.Disks)
+	zeroSum := crc32.Checksum(make([]byte, pageSize), crcTab)
 	for d := range s.disks {
 		s.disks[d] = make([]byte, lay.DiskPages*pageSize)
+		s.sums[d] = make([]uint32, lay.DiskPages)
+		for p := range s.sums[d] {
+			s.sums[d][p] = zeroSum
+		}
 	}
 	return s, nil
+}
+
+// pageSum computes the current checksum of disk d's page p contents.
+func (s *Store) pageSum(d, p int) uint32 {
+	return crc32.Checksum(s.disks[d][p*s.pageSize:(p+1)*s.pageSize], crcTab)
+}
+
+// setSums re-records the stored checksums of pages [p, p+n) on disk d.
+func (s *Store) setSums(d, p, n int) {
+	for i := p; i < p+n; i++ {
+		s.sums[d][i] = s.pageSum(d, i)
+	}
+}
+
+// ReadRepairs reports how many pages checksum-verifying reads have
+// repaired in place so far.
+func (s *Store) ReadRepairs() int64 { return s.readRepairs }
+
+// Corrupt flips bytes of disk d's page p without updating the stored
+// checksum — injected silent corruption for exercising detection and
+// repair. It fails on a failed disk or an out-of-range page.
+func (s *Store) Corrupt(d, p int) error {
+	if d < 0 || d >= s.lay.Disks || p < 0 || p >= s.lay.DiskPages {
+		return fmt.Errorf("raid: corrupt target disk %d page %d out of range", d, p)
+	}
+	if !s.alive(d) {
+		return fmt.Errorf("raid: disk %d already failed", d)
+	}
+	s.disks[d][p*s.pageSize] ^= 0xFF
+	return nil
 }
 
 // Layout returns the store's layout.
@@ -216,7 +264,10 @@ func (s *Store) Write(page int, data []byte) error {
 	if page < 0 || page+pages > s.lay.LogicalPages() {
 		return fmt.Errorf("raid: write [%d,%d) outside array", page, page+pages)
 	}
-	exts := s.lay.SplitExtent(page, pages)
+	exts, err := s.lay.SplitExtent(page, pages)
+	if err != nil {
+		return err
+	}
 	off := 0
 	switch s.lay.Level {
 	case RAID0:
@@ -224,6 +275,7 @@ func (s *Store) Write(page int, data []byte) error {
 			n := e.Pages * s.pageSize
 			if s.alive(e.Disk) {
 				copy(s.disks[e.Disk][e.Page*s.pageSize:], data[off:off+n])
+				s.setSums(e.Disk, e.Page, e.Pages)
 			}
 			off += n
 		}
@@ -233,6 +285,7 @@ func (s *Store) Write(page int, data []byte) error {
 			for d := 0; d < s.lay.Disks; d++ {
 				if s.alive(d) {
 					copy(s.disks[d][e.Page*s.pageSize:], data[off:off+n])
+					s.setSums(d, e.Page, e.Pages)
 				}
 			}
 			off += n
@@ -257,11 +310,20 @@ func (s *Store) Write(page int, data []byte) error {
 				uOff := (e.Page - s.lay.UnitPage(st)) * s.pageSize
 				copy(units[e.DataIdx][uOff:uOff+n], data[off:off+n])
 				off += n
+				if s.alive(e.Disk) {
+					s.setSums(e.Disk, e.Page, e.Pages)
+				}
 			}
 			// Persist data units that live on surviving disks. The unit
 			// slices alias disk storage for surviving disks, so the overlay
 			// already stored them; only parity needs encoding.
 			s.writeParity(st, units)
+			if pd := s.lay.ParityDisk(st); pd >= 0 && s.alive(pd) {
+				s.setSums(pd, s.lay.UnitPage(st), s.lay.UnitPages)
+			}
+			if qd := s.lay.QDisk(st); qd >= 0 && s.alive(qd) {
+				s.setSums(qd, s.lay.UnitPage(st), s.lay.UnitPages)
+			}
 			i = j
 		}
 	}
@@ -270,15 +332,31 @@ func (s *Store) Write(page int, data []byte) error {
 
 // Read returns pages logical pages starting at page, reconstructing any
 // portion lost to a failed disk (except on RAID0, which has no redundancy).
+// Every page read is checksum-verified: detected corruption is repaired in
+// place from redundancy, or reported as an error when none remains — never
+// silently returned.
 func (s *Store) Read(page, pages int) ([]byte, error) {
 	if pages <= 0 || page < 0 || page+pages > s.lay.LogicalPages() {
 		return nil, fmt.Errorf("raid: read [%d,%d) invalid", page, page+pages)
 	}
+	exts, err := s.lay.SplitExtent(page, pages)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, pages*s.pageSize)
 	off := 0
-	for _, e := range s.lay.SplitExtent(page, pages) {
+	for _, e := range exts {
 		n := e.Pages * s.pageSize
 		if s.alive(e.Disk) {
+			for pp := e.Page; pp < e.Page+e.Pages; pp++ {
+				if s.pageSum(e.Disk, pp) == s.sums[e.Disk][pp] {
+					continue
+				}
+				if !s.repairPage(e.Disk, pp) {
+					return nil, fmt.Errorf("raid: unrecoverable corruption on disk %d page %d", e.Disk, pp)
+				}
+				s.readRepairs++
+			}
 			copy(out[off:], s.disks[e.Disk][e.Page*s.pageSize:e.Page*s.pageSize+n])
 		} else {
 			switch s.lay.Level {
@@ -296,6 +374,130 @@ func (s *Store) Read(page, pages int) ([]byte, error) {
 		off += n
 	}
 	return out, nil
+}
+
+// reconstructExcluding rebuilds data unit idx of stripe st without reading
+// it — from the stripe's other data units and parity — even when the
+// source disk is alive but holds corrupt data. Failed disks count against
+// the same redundancy budget: an error means the stripe cannot cover idx
+// on top of its existing losses.
+func (s *Store) reconstructExcluding(st, idx int) ([]byte, error) {
+	nd := s.lay.DataDisks()
+	units := make([][]byte, nd)
+	var missing []int
+	for i := 0; i < nd; i++ {
+		d := s.lay.DataDisk(st, i)
+		if i == idx || !s.alive(d) {
+			missing = append(missing, i)
+			continue
+		}
+		units[i] = s.unit(d, st)
+	}
+	n := s.lay.UnitPages * s.pageSize
+	out := make([]byte, n)
+	switch len(missing) {
+	case 1:
+		if err := s.reconstructDataUnit(st, idx, units, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	case 2:
+		if s.lay.Level != RAID6 {
+			return nil, fmt.Errorf("raid: %v stripe %d cannot cover unit %d on top of a failure", s.lay.Level, st, idx)
+		}
+		pd, qd := s.lay.ParityDisk(st), s.lay.QDisk(st)
+		if !s.alive(pd) || !s.alive(qd) {
+			return nil, fmt.Errorf("raid: stripe %d lacks both parities to cover unit %d", st, idx)
+		}
+		surv := make(map[int][]byte)
+		for i, u := range units {
+			if u != nil {
+				surv[i] = u
+			}
+		}
+		outB := make([]byte, n)
+		ReconstructTwoData(surv, s.unit(pd, st), s.unit(qd, st), missing[0], missing[1], out, outB)
+		if missing[0] == idx {
+			return out, nil
+		}
+		return outB, nil
+	default:
+		return nil, fmt.Errorf("raid: stripe %d lost %d data units", st, len(missing))
+	}
+}
+
+// repairPage rewrites disk d's page p from redundancy and re-records its
+// checksum, reporting whether the repair was possible. The page may hold a
+// data unit, P, or Q; RAID0 pages are unrepairable.
+func (s *Store) repairPage(d, p int) bool {
+	st := p / s.lay.UnitPages
+	ps := s.pageSize
+	dst := s.disks[d][p*ps : (p+1)*ps]
+	uOff := (p - s.lay.UnitPage(st)) * ps
+	switch {
+	case s.lay.Level == RAID0:
+		return false
+	case s.lay.Level == RAID1:
+		for m := 0; m < s.lay.Disks; m++ {
+			// Copy from a mirror whose own page still matches its checksum.
+			if m == d || !s.alive(m) || s.pageSum(m, p) != s.sums[m][p] {
+				continue
+			}
+			copy(dst, s.disks[m][p*ps:(p+1)*ps])
+			s.setSums(d, p, 1)
+			return true
+		}
+		return false
+	case d == s.lay.ParityDisk(st) || (s.lay.Level == RAID6 && d == s.lay.QDisk(st)):
+		units, err := s.dataUnits(st)
+		if err != nil {
+			return false
+		}
+		buf := make([]byte, s.lay.UnitPages*ps)
+		if d == s.lay.ParityDisk(st) {
+			EncodeP(units, buf)
+		} else {
+			EncodeQ(units, buf)
+		}
+		copy(dst, buf[uOff:uOff+ps])
+		s.setSums(d, p, 1)
+		return true
+	default:
+		idx := s.lay.DataIndex(st, d)
+		if idx < 0 {
+			return false
+		}
+		unit, err := s.reconstructExcluding(st, idx)
+		if err != nil {
+			return false
+		}
+		copy(dst, unit[uOff:uOff+ps])
+		s.setSums(d, p, 1)
+		return true
+	}
+}
+
+// ScrubPass walks every page of every alive disk, verifies its checksum,
+// and repairs mismatches in place from redundancy — the byte-accurate
+// model of one patrol scrub pass. It reports how many pages were repaired
+// and how many were detected but unrepairable (redundancy exhausted).
+func (s *Store) ScrubPass() (repaired, unrecoverable int) {
+	for d := 0; d < s.lay.Disks; d++ {
+		if !s.alive(d) {
+			continue
+		}
+		for p := 0; p < s.lay.DiskPages; p++ {
+			if s.pageSum(d, p) == s.sums[d][p] {
+				continue
+			}
+			if s.repairPage(d, p) {
+				repaired++
+			} else {
+				unrecoverable++
+			}
+		}
+	}
+	return repaired, unrecoverable
 }
 
 // Reconstruct rebuilds every failed disk's full contents (data and parity
@@ -361,6 +563,7 @@ func (s *Store) reconstructOne(d int) error {
 		}
 	}
 	s.disks[d] = repl
+	s.setSums(d, 0, s.lay.DiskPages)
 	return nil
 }
 

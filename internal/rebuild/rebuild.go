@@ -14,6 +14,15 @@ import (
 	"gcsteering/internal/sim"
 )
 
+// must panics on an I/O error from a member disk: rebuild ranges are
+// derived from the validated layout and checked sink geometry, so an error
+// here is an internal invariant violation, not bad input.
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 // Sink receives the rebuilt units of the failed disk.
 type Sink interface {
 	// Name identifies the target ("Spare" or "Reserved").
@@ -35,7 +44,7 @@ func (s *SpareSink) Name() string { return "Spare" }
 
 // WriteUnit implements Sink.
 func (s *SpareSink) WriteUnit(now sim.Time, page, pages int, done func(sim.Time)) {
-	s.Disk.Write(now, page, pages, done)
+	must(s.Disk.Write(now, page, pages, done))
 }
 
 // ReservedSink spreads rebuilt units round-robin across the reserved space
@@ -83,7 +92,7 @@ func (s *ReservedSink) WriteUnit(now sim.Time, page, pages int, done func(sim.Ti
 		if s.cursor[d]+pages <= s.capacity {
 			off := s.base + s.cursor[d]
 			s.cursor[d] += pages
-			s.survivors[d].Write(now, off, pages, done)
+			must(s.survivors[d].Write(now, off, pages, done))
 			return
 		}
 	}
@@ -91,7 +100,7 @@ func (s *ReservedSink) WriteUnit(now sim.Time, page, pages int, done func(sim.Ti
 	d := s.next
 	s.next = (s.next + 1) % len(s.survivors)
 	s.cursor[d] = pages
-	s.survivors[d].Write(now, s.base, pages, done)
+	must(s.survivors[d].Write(now, s.base, pages, done))
 }
 
 // Stats describes a reconstruction run.
@@ -259,6 +268,6 @@ func (r *Rebuilder) rebuildUnit(startAt sim.Time) {
 	}
 	for _, d := range sources {
 		r.stats.PagesRead += int64(lay.UnitPages)
-		disks[d].Read(startAt, base, lay.UnitPages, onRead)
+		must(disks[d].Read(startAt, base, lay.UnitPages, onRead))
 	}
 }

@@ -18,19 +18,21 @@ type fakeDisk struct {
 	lastW    int
 }
 
-func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) {
+func (f *fakeDisk) Read(now sim.Time, page, pages int, done func(sim.Time)) error {
 	f.reads += pages
 	if done != nil {
 		f.eng.At(now+f.readLat, done)
 	}
+	return nil
 }
 
-func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) {
+func (f *fakeDisk) Write(now sim.Time, page, pages int, done func(sim.Time)) error {
 	f.writes += pages
 	f.lastW = page
 	if done != nil {
 		f.eng.At(now+f.writeLat, done)
 	}
+	return nil
 }
 
 func (f *fakeDisk) LogicalPages() int  { return f.pages }

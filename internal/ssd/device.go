@@ -123,6 +123,31 @@ type FaultHook interface {
 	ReadError(now sim.Time, lpn, pages int) bool
 }
 
+// ScrubHook is the optional FaultHook extension carrying persistent media
+// state: latent sector errors and silent corruption that stay put until an
+// explicit repair rewrites the range from redundancy. The patrol scrubber
+// and the checksum-verifying read path probe these; a hook that does not
+// implement it simply has no persistent defects.
+type ScrubHook interface {
+	// LatentError reports whether [lpn, lpn+pages) holds a persistent
+	// latent sector error. Unlike FaultHook.ReadError it must not consume
+	// RNG state: probing is free of side effects.
+	LatentError(lpn, pages int) bool
+	// VerifyError reports whether checksum verification of [lpn, lpn+pages)
+	// would fail — the range holds silently corrupted data.
+	VerifyError(now sim.Time, lpn, pages int) bool
+	// Repair clears persistent defects in [lpn, lpn+pages) and reports how
+	// many latent and corrupt pages were cleared.
+	Repair(lpn, pages int) (latent, corrupt int)
+}
+
+// SlowHook is the optional FaultHook extension exposing whether the device
+// is currently inside a fail-slow window — the array's signal (alongside
+// InGC) for hedging reads with a parity reconstruction.
+type SlowHook interface {
+	SlowAt(now sim.Time) bool
+}
+
 // Device is one simulated SSD attached to a simulation engine.
 type Device struct {
 	// ID identifies the device inside an array; used only for reporting.
@@ -231,10 +256,46 @@ func (d *Device) ReadError(now sim.Time, lpn, pages int) bool {
 	return d.Fault != nil && d.Fault.ReadError(now, lpn, pages)
 }
 
+// VerifyError reports whether checksum verification of [lpn, lpn+pages)
+// would fail at now — silent corruption a plain read cannot see. It
+// implements the RAID engine's Verifier interface; false without a
+// scrub-capable fault hook.
+func (d *Device) VerifyError(now sim.Time, lpn, pages int) bool {
+	h, ok := d.Fault.(ScrubHook)
+	return ok && h.VerifyError(now, lpn, pages)
+}
+
+// LatentError reports, without consuming RNG state, whether [lpn,
+// lpn+pages) holds a persistent latent sector error.
+func (d *Device) LatentError(lpn, pages int) bool {
+	h, ok := d.Fault.(ScrubHook)
+	return ok && h.LatentError(lpn, pages)
+}
+
+// RepairPages clears persistent defects in [lpn, lpn+pages) — the media
+// effect of rewriting the range from redundancy — and reports how many
+// latent and corrupt pages were cleared.
+func (d *Device) RepairPages(lpn, pages int) (latent, corrupt int) {
+	if h, ok := d.Fault.(ScrubHook); ok {
+		return h.Repair(lpn, pages)
+	}
+	return 0, 0
+}
+
+// Slow reports whether the device is inside a fail-slow window at now. It
+// implements the RAID engine's SlowDisk interface; false without a
+// slowdown-aware fault hook.
+func (d *Device) Slow(now sim.Time) bool {
+	h, ok := d.Fault.(SlowHook)
+	return ok && h.SlowAt(now)
+}
+
 // Read services a read of pages logical pages starting at lpn. done, if
 // non-nil, fires when the last page is delivered.
-func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) {
-	d.checkRange(lpn, pages)
+func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) error {
+	if err := d.checkRange(lpn, pages); err != nil {
+		return err
+	}
 	d.stats.ReadOps++
 	d.stats.PagesRead += int64(pages)
 	finish := now
@@ -254,14 +315,17 @@ func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) {
 	if done != nil {
 		d.eng.At(finish, done)
 	}
+	return nil
 }
 
 // Write services a write of pages logical pages starting at lpn. done, if
 // non-nil, fires when the last page is durable. Writes may trigger a
 // garbage-collection episode whose channel time lands after this request's
 // own programs.
-func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) {
-	d.checkRange(lpn, pages)
+func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) error {
+	if err := d.checkRange(lpn, pages); err != nil {
+		return err
+	}
 	d.stats.WriteOps++
 	d.stats.PagesWritten += int64(pages)
 	finish := now
@@ -279,6 +343,7 @@ func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) {
 	if d.ftl.NeedGC(d.cfg.GCLowWater) {
 		d.startGC(now, d.cfg.GCHighWater, 0, false)
 	}
+	return nil
 }
 
 // SetColdBoundary marks LPNs at or above boundary as cold-stream data
@@ -287,11 +352,14 @@ func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) {
 func (d *Device) SetColdBoundary(boundary int) { d.ftl.SetColdBoundary(boundary) }
 
 // Trim drops mappings without consuming channel time (a metadata op).
-func (d *Device) Trim(lpn, pages int) {
-	d.checkRange(lpn, pages)
+func (d *Device) Trim(lpn, pages int) error {
+	if err := d.checkRange(lpn, pages); err != nil {
+		return err
+	}
 	for i := 0; i < pages; i++ {
 		d.ftl.Trim(lpn + i)
 	}
+	return nil
 }
 
 // ForceGC starts a garbage-collection episode even when free space is above
@@ -422,14 +490,18 @@ func boolInt(b bool) int64 {
 	return 0
 }
 
-func (d *Device) checkRange(lpn, pages int) {
+// checkRange rejects malformed page ranges. Callers at the public API
+// boundary return the error to the host; internal callers whose ranges are
+// valid by construction treat it as an invariant violation.
+func (d *Device) checkRange(lpn, pages int) error {
 	if pages < 0 || lpn < 0 || lpn+pages > d.LogicalPages() {
-		panic(fmt.Sprintf("ssd: page range [%d,%d) outside device of %d pages",
-			lpn, lpn+pages, d.LogicalPages()))
+		return fmt.Errorf("ssd: page range [%d,%d) outside device of %d pages",
+			lpn, lpn+pages, d.LogicalPages())
 	}
 	if pages == 0 {
-		panic("ssd: zero-page request")
+		return fmt.Errorf("ssd: zero-page request at lpn %d", lpn)
 	}
+	return nil
 }
 
 // Prefill performs the paper's "simulation warm-up": it writes the first

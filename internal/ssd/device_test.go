@@ -101,19 +101,20 @@ func TestQueueingOnSameChannel(t *testing.T) {
 	}
 }
 
-func TestRangePanics(t *testing.T) {
+func TestRangeErrors(t *testing.T) {
 	_, d := newDevice(t)
 	for _, tc := range []struct{ lpn, pages int }{
 		{-1, 1}, {0, 0}, {0, -1}, {d.LogicalPages(), 1}, {d.LogicalPages() - 1, 2},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("Read(%d,%d) did not panic", tc.lpn, tc.pages)
-				}
-			}()
-			d.Read(0, tc.lpn, tc.pages, nil)
-		}()
+		if err := d.Read(0, tc.lpn, tc.pages, nil); err == nil {
+			t.Errorf("Read(%d,%d) did not error", tc.lpn, tc.pages)
+		}
+		if err := d.Write(0, tc.lpn, tc.pages, nil); err == nil {
+			t.Errorf("Write(%d,%d) did not error", tc.lpn, tc.pages)
+		}
+		if err := d.Trim(tc.lpn, tc.pages); err == nil {
+			t.Errorf("Trim(%d,%d) did not error", tc.lpn, tc.pages)
+		}
 	}
 }
 

@@ -49,6 +49,15 @@ type Results struct {
 	// (Injected is false for plain replays).
 	Fault FaultStats
 
+	// Integrity carries the end-to-end checksum and hedged-read counters
+	// (all zero unless Config.Checksums / Config.HedgedReads enabled them).
+	Integrity IntegrityStats
+
+	// Scrub carries the patrol scrubber's counters for runs with
+	// Config.ScrubMBps > 0; ScrubEnabled marks that the scrubber ran.
+	Scrub        ScrubStats
+	ScrubEnabled bool
+
 	// VariabilityCV is the coefficient of variation of per-100 ms-window
 	// mean response times — the paper's Figure 1 "performance variability"
 	// as one number. Series holds the full windowed time series it is
@@ -80,6 +89,9 @@ type PhaseLatencies struct {
 	Quiet LatencySummary
 	// GC: at least one member was inside a GC episode.
 	GC LatencySummary
+	// GCRead restricts GC to reads — the tail the hedged reconstruct-reads
+	// (Config.HedgedReads) attack.
+	GCRead LatencySummary
 	// Degraded: the array was missing at least one member.
 	Degraded LatencySummary
 }
@@ -103,6 +115,21 @@ type WearStats struct {
 	MeanErase float64
 }
 
+// IntegrityStats aggregates the end-to-end data-integrity counters of one
+// run: checksum verification failures on the read path and the hedged
+// reconstruct-reads raced against GC-busy or fail-slow members.
+type IntegrityStats struct {
+	// ChecksumErrors counts reads whose end-to-end verification failed;
+	// ChecksumFixed the subset served from redundancy instead (the rest
+	// were unrecoverable and counted as data loss).
+	ChecksumErrors int64
+	ChecksumFixed  int64
+	// HedgedReads counts reads raced against a parity reconstruct-read;
+	// HedgeReconWins how often the reconstruction finished first.
+	HedgedReads    int64
+	HedgeReconWins int64
+}
+
 // FaultStats aggregates the reliability measurements of one fault-injected
 // run: what the fault plan did to the array and what it cost.
 type FaultStats struct {
@@ -121,6 +148,10 @@ type FaultStats struct {
 	UREs           int64
 	URERepaired    int64
 	DataLossEvents int64
+	// RebuildUREs is the subset of UREs encountered by rebuild reads on the
+	// survivors — the §III-D exposure a prior patrol scrub shrinks by
+	// repairing latent defects before the rebuild trips over them.
+	RebuildUREs int64
 	// WindowOfVulnerability totals the simulated time the array ran without
 	// full redundancy — the paper's §III-D reliability metric: while the
 	// window is open, one more loss is data loss. RebuildTime is the part
@@ -147,6 +178,7 @@ func (s *System) results() *Results {
 	r.Phases = PhaseLatencies{
 		Quiet:    s.quietLat.Summarize(),
 		GC:       s.gcLat.Summarize(),
+		GCRead:   s.gcRdLat.Summarize(),
 		Degraded: s.degLat.Summarize(),
 	}
 	var wa float64
@@ -183,9 +215,19 @@ func (s *System) results() *Results {
 		r.Steering = s.steer.Stats()
 		r.RedirectRatio = s.steer.RedirectRatio()
 	}
+	as := s.arr.Stats()
+	r.Integrity = IntegrityStats{
+		ChecksumErrors: as.ChecksumErrors,
+		ChecksumFixed:  as.ChecksumFixed,
+		HedgedReads:    as.HedgedReads,
+		HedgeReconWins: as.HedgeReconWins,
+	}
+	if s.scrubber != nil {
+		r.Scrub = s.scrubber.Stats()
+		r.ScrubEnabled = true
+	}
 	if s.faults != nil {
 		cs := s.faults.Stats()
-		as := s.arr.Stats()
 		r.Fault = FaultStats{
 			Injected:              true,
 			Failures:              cs.Failures,
@@ -194,6 +236,7 @@ func (s *System) results() *Results {
 			UREs:                  as.UREs + cs.RebuildUREs,
 			URERepaired:           as.URERepaired + cs.RebuildUREsRepaired,
 			DataLossEvents:        as.DataLossEvents + cs.DataLossUnits + cs.ArrayFailures,
+			RebuildUREs:           cs.RebuildUREs,
 			WindowOfVulnerability: cs.WindowOfVulnerability,
 			RebuildTime:           cs.RebuildTime,
 			DegradedLatency:       s.degLat.Summarize(),
@@ -227,6 +270,15 @@ func (r *Results) String() string {
 	}
 	if r.Fault.Injected {
 		fmt.Fprintf(&b, " wov=%v loss=%d", r.Fault.WindowOfVulnerability, r.Fault.DataLossEvents)
+	}
+	if r.ScrubEnabled {
+		fmt.Fprintf(&b, " scrubbed=%d repaired=%d", r.Scrub.StripesScanned, r.Scrub.UnitsRepaired)
+	}
+	if r.Integrity.ChecksumErrors > 0 {
+		fmt.Fprintf(&b, " cksum=%d/%d", r.Integrity.ChecksumFixed, r.Integrity.ChecksumErrors)
+	}
+	if r.Integrity.HedgedReads > 0 {
+		fmt.Fprintf(&b, " hedged=%d wins=%d", r.Integrity.HedgedReads, r.Integrity.HedgeReconWins)
 	}
 	return b.String()
 }

@@ -12,6 +12,7 @@ import (
 	"gcsteering/internal/raid"
 	"gcsteering/internal/rebuild"
 	"gcsteering/internal/sched"
+	"gcsteering/internal/scrub"
 	"gcsteering/internal/sim"
 	"gcsteering/internal/ssd"
 	"gcsteering/internal/trace"
@@ -38,6 +39,8 @@ type (
 	Tracer = obs.Tracer
 	// Recorder is the windowed time-series collector behind Results.Series.
 	Recorder = metrics.Recorder
+	// ScrubStats exposes the patrol scrubber's counters (Results.Scrub).
+	ScrubStats = scrub.Stats
 )
 
 // NewTracer returns a structured event tracer writing JSON lines to w.
@@ -70,6 +73,7 @@ type System struct {
 	writeLat metrics.Hist
 	degLat   metrics.Hist // requests submitted while the array was degraded
 	gcLat    metrics.Hist // submitted while >= 1 member collected (not degraded)
+	gcRdLat  metrics.Hist // the read-only subset of gcLat (hedged-read target)
 	quietLat metrics.Hist // submitted with no GC and full redundancy
 	rec      *metrics.Recorder
 	gcGauge  metrics.Gauge // gc_active, sampled once per arrival
@@ -78,8 +82,9 @@ type System struct {
 	reqSeq   int64
 	inFlight int
 
-	faults *fault.Controller // non-nil for ReplayWithFaults runs
-	nrepl  int               // replacement SSDs created so far (device IDs)
+	faults   *fault.Controller // non-nil for ReplayWithFaults runs
+	scrubber *scrub.Scrubber   // non-nil when Config.ScrubMBps > 0
+	nrepl    int               // replacement SSDs created so far (device IDs)
 
 	// measuring gates response-time recording; ReplayDuringRebuild stops
 	// recording when reconstruction completes so the results describe the
@@ -144,6 +149,8 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	arr.Trace = cfg.Trace
+	arr.VerifyReads = cfg.Checksums
+	arr.HedgedReads = cfg.HedgedReads
 	s.arr = arr
 	s.hub = sched.NewHub(s.devs)
 
@@ -316,6 +323,9 @@ func (s *System) submit(now sim.Time, r Record) {
 			s.degLat.Observe(d)
 		case inGC:
 			s.gcLat.Observe(d)
+			if !r.Write {
+				s.gcRdLat.Observe(d)
+			}
 		default:
 			s.quietLat.Observe(d)
 		}
@@ -325,11 +335,37 @@ func (s *System) submit(now sim.Time, r Record) {
 			s.readLat.Observe(d)
 		}
 	}
+	var err error
 	if r.Write {
-		s.arr.Write(now, page, pages, done)
+		err = s.arr.Write(now, page, pages, done)
 	} else {
-		s.arr.Read(now, page, pages, done)
+		err = s.arr.Read(now, page, pages, done)
 	}
+	if err != nil {
+		// The range was clamped to the array above, so an error here is an
+		// internal invariant violation, not bad trace input.
+		panic(err)
+	}
+}
+
+// startScrub launches the patrol scrubber when the config enables it
+// (Config.ScrubMBps > 0). It runs alongside the replayed workload, paced by
+// its bandwidth cap, and finishes after Config.ScrubPasses full passes.
+func (s *System) startScrub() error {
+	if s.cfg.ScrubMBps <= 0 {
+		return nil
+	}
+	sc, err := scrub.New(s.eng, s.arr, scrub.Config{
+		MBps:   s.cfg.ScrubMBps,
+		Passes: s.cfg.ScrubPasses,
+	}, s.cfg.Flash.PageSize)
+	if err != nil {
+		return err
+	}
+	sc.Trace = s.trace
+	s.scrubber = sc
+	sc.Start(s.eng.Now())
+	return nil
 }
 
 // Replay drives the trace through the system open-loop (arrivals at trace
@@ -341,6 +377,9 @@ func (s *System) Replay(tr Trace) (*Results, error) {
 	}
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("gcsteering: empty trace")
+	}
+	if err := s.startScrub(); err != nil {
+		return nil, err
 	}
 	s.measuring = true
 	s.scheduleArrivals(tr)
@@ -537,6 +576,9 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 	}
 	s.faults = ctl
 	ctl.Start()
+	if err := s.startScrub(); err != nil {
+		return nil, err
+	}
 	s.measuring = true
 	s.scheduleArrivals(tr)
 	s.eng.Run()
