@@ -9,7 +9,10 @@
 // alias of fig7a's run that highlights GC counts), fig8, fig9, fig10,
 // fig11, raid6 (the future-work extension), endurance, faults (the
 // reliability grid under injected failures), scrub (the self-healing grid:
-// patrol scrub and GC-hedged reads under seeded latent errors), all.
+// patrol scrub and GC-hedged reads under seeded latent errors), failslow
+// (the fail-slow tolerance grid: health quarantine and hedged reads under
+// a sustained member slowdown with transient read errors), all. Run with
+// -list-experiments to print the registry.
 //
 // -json <path> additionally writes the machine-readable results of the run
 // (every grid's full metric tables) to the given file.
@@ -52,7 +55,27 @@ type jsonDoc struct {
 
 // allExperiments is the -experiment all sequence.
 var allExperiments = []string{"table1", "fig1", "fig2", "fig7a", "fig8",
-	"fig9", "fig10", "fig11", "raid6", "endurance", "faults", "scrub"}
+	"fig9", "fig10", "fig11", "raid6", "endurance", "faults", "scrub",
+	"failslow"}
+
+// experimentBlurbs describes each entry of allExperiments for
+// -list-experiments (aliases like fig7b resolve to the same runs and are
+// not listed separately).
+var experimentBlurbs = map[string]string{
+	"table1":    "synthetic workload generator check against the paper's Table I",
+	"fig1":      "performance-variability timeline per GC scheme",
+	"fig2":      "GC duty cycle and episode statistics",
+	"fig7a":     "mean response time per scheme (fig7b/fig7 alias: GC counts)",
+	"fig8":      "array-size sweep",
+	"fig9":      "stripe-unit sweep",
+	"fig10":     "staging configuration comparison (reserved vs dedicated)",
+	"fig11":     "response time and rebuild duration during reconstruction",
+	"raid6":     "RAID6 extension of the main comparison",
+	"endurance": "per-scheme flash wear (erases, write amplification)",
+	"faults":    "reliability grid: failures, rebuilds, window of vulnerability",
+	"scrub":     "self-healing grid: patrol scrub and hedged reads vs seeded defects",
+	"failslow":  "fail-slow grid: health quarantine, retries, hedged reads vs a slow member",
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -65,7 +88,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gcsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|all")
+		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|all")
+		listExps   = fs.Bool("list-experiments", false, "print the experiment registry and exit")
 		requests   = fs.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
 		workers    = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		seed       = fs.Int64("seed", 0, "seed offset for replication")
@@ -81,6 +105,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "gcsbench: "+format+"\n", args...)
 		return 1
 	}
+	if *listExps {
+		for _, n := range allExperiments {
+			fmt.Fprintf(stdout, "%-10s %s\n", n, experimentBlurbs[n])
+		}
+		fmt.Fprintf(stdout, "%-10s %s\n", "all", "run every experiment above in sequence")
+		return 0
+	}
 
 	// Resolve the experiment list before touching any output file, so a
 	// typo'd -experiment exits cleanly without side effects.
@@ -90,7 +121,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	for _, n := range names {
 		if !knownExperiment(n) {
-			return fail("unknown experiment %q (have %s, all)", n, strings.Join(allExperiments, ", "))
+			return fail("unknown experiment %q (have %s, all; see -list-experiments)",
+				n, strings.Join(allExperiments, ", "))
 		}
 	}
 
@@ -161,7 +193,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 func knownExperiment(name string) bool {
 	switch name {
 	case "fig1", "endurance", "table1", "fig2", "fig7a", "fig7b", "fig7",
-		"fig8", "fig9", "fig10", "fig11", "raid6", "faults", "scrub":
+		"fig8", "fig9", "fig10", "fig11", "raid6", "faults", "scrub",
+		"failslow":
 		return true
 	}
 	return false
@@ -221,6 +254,9 @@ func runOne(name string, o harness.Options, stdout io.Writer) (experimentOut, er
 	case "scrub":
 		g, e := harness.Scrub(o)
 		err = grid(g, e, "")
+	case "failslow":
+		g, e := harness.FailSlow(o)
+		err = grid(g, e, "none")
 	default:
 		err = fmt.Errorf("unknown experiment %q", name)
 	}

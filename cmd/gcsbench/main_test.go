@@ -15,6 +15,33 @@ func TestUnknownExperimentExitsNonZero(t *testing.T) {
 	if !strings.Contains(errb.String(), `unknown experiment "fig99"`) {
 		t.Fatalf("stderr %q lacks a clear unknown-experiment message", errb.String())
 	}
+	// The error lists what IS runnable, so a typo is a one-step fix.
+	for _, name := range allExperiments {
+		if !strings.Contains(errb.String(), name) {
+			t.Fatalf("stderr %q does not name experiment %q", errb.String(), name)
+		}
+	}
+}
+
+func TestListExperimentsPrintsRegistry(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list-experiments"}, &out, &errb); code != 0 {
+		t.Fatalf("-list-experiments exited %d: %s", code, errb.String())
+	}
+	for _, name := range allExperiments {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("registry %q missing experiment %q", out.String(), name)
+		}
+		if experimentBlurbs[name] == "" {
+			t.Fatalf("experiment %q has no blurb", name)
+		}
+		if !strings.Contains(out.String(), experimentBlurbs[name]) {
+			t.Fatalf("registry %q missing blurb for %q", out.String(), name)
+		}
+	}
+	if !strings.Contains(out.String(), "all") {
+		t.Fatalf("registry %q missing the all pseudo-experiment", out.String())
+	}
 }
 
 func TestUnknownFlagExitsNonZero(t *testing.T) {

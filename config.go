@@ -157,6 +157,34 @@ type Config struct {
 	// defaults to 1; passes are finite so runs always terminate).
 	ScrubPasses int
 
+	// DeadlineUs cancels a user request that has not completed within this
+	// many microseconds of simulated time: its queued sub-ops are absorbed
+	// on arrival at the array, the request is counted in
+	// Results.Robust.DeadlineExceeded, and its response time is recorded as
+	// the deadline. <= 0 disables deadlines.
+	DeadlineUs float64
+	// MaxRetries bounds re-issues of a read sub-op that hits a transient
+	// read error (FaultPlan.TransientReadErrorRate). 0 gives up on the
+	// first error (it is absorbed, not surfaced, mirroring drive-internal
+	// retry exhaustion).
+	MaxRetries int
+	// RetryBackoffUs is the base delay before the first retry; it doubles
+	// per attempt. 0 with MaxRetries > 0 defaults to 200 µs.
+	RetryBackoffUs float64
+	// QueueLimit caps concurrently admitted user requests: beyond it the
+	// array sheds background load first (hot-read migrations, scrub pacing)
+	// and then rejects arrivals outright (Results.Robust.Rejected). <= 0
+	// disables admission control.
+	QueueLimit int
+	// Quarantine enables the per-device health monitor: a circuit breaker
+	// per member that opens on sustained fail-slow behaviour (EWMA op
+	// latency far above the peers'), steers traffic away exactly like a GC
+	// signal while open, and probes half-open with exponential backoff
+	// until the device proves healthy again. With no fail-slow member the
+	// monitor observes without scheduling anything, so enabling it on a
+	// healthy run reproduces the baseline byte for byte.
+	Quarantine bool
+
 	// Flash is the per-SSD geometry; Latency the flash op timing.
 	Flash   FlashGeometry
 	Latency LatencyModel
@@ -241,6 +269,11 @@ type FaultPlan struct {
 	// silently corrupted: reads return bad data without an error, caught
 	// only by end-to-end checksums (Config.Checksums) or the scrubber.
 	CorruptPageRate float64
+	// TransientReadErrorRate is the per-page probability that one read
+	// attempt fails transiently: unlike UREPerPageRead the error is not
+	// sticky — a retry (Config.MaxRetries) draws independently and usually
+	// succeeds. Exhausted retries are absorbed and counted, not surfaced.
+	TransientReadErrorRate float64
 	// RepairDelayMs is the hot-spare activation lag between a failure and
 	// the automatic rebuild start.
 	RepairDelayMs float64
@@ -255,19 +288,20 @@ type FaultPlan struct {
 // Enabled reports whether the plan injects anything.
 func (p FaultPlan) Enabled() bool {
 	return len(p.Failures) > 0 || len(p.Slowdowns) > 0 || p.UREPerPageRead > 0 ||
-		p.LatentPageRate > 0 || p.CorruptPageRate > 0
+		p.LatentPageRate > 0 || p.CorruptPageRate > 0 || p.TransientReadErrorRate > 0
 }
 
 // plan lowers the public spec (milliseconds, microseconds) to the internal
 // fault schedule (engine nanoseconds), deriving the URE streams from seed.
 func (p FaultPlan) plan(seed int64) fault.Plan {
 	out := fault.Plan{
-		UREPerPageRead:  p.UREPerPageRead,
-		LatentPageRate:  p.LatentPageRate,
-		CorruptPageRate: p.CorruptPageRate,
-		RepairDelay:     sim.Time(p.RepairDelayMs * float64(sim.Millisecond)),
-		RebuildMBps:     p.RebuildMBps,
-		Seed:            seed,
+		UREPerPageRead:         p.UREPerPageRead,
+		LatentPageRate:         p.LatentPageRate,
+		CorruptPageRate:        p.CorruptPageRate,
+		TransientReadErrorRate: p.TransientReadErrorRate,
+		RepairDelay:            sim.Time(p.RepairDelayMs * float64(sim.Millisecond)),
+		RebuildMBps:            p.RebuildMBps,
+		Seed:                   seed,
 	}
 	for _, f := range p.Failures {
 		out.Failures = append(out.Failures, fault.DiskFailure{
@@ -341,6 +375,15 @@ func (c Config) Validate() error {
 	}
 	if math.IsNaN(c.ScrubMBps) {
 		return fmt.Errorf("gcsteering: ScrubMBps is NaN")
+	}
+	if math.IsNaN(c.DeadlineUs) || math.IsInf(c.DeadlineUs, 0) {
+		return fmt.Errorf("gcsteering: DeadlineUs %v not finite", c.DeadlineUs)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("gcsteering: MaxRetries %d negative", c.MaxRetries)
+	}
+	if c.RetryBackoffUs < 0 || math.IsNaN(c.RetryBackoffUs) || math.IsInf(c.RetryBackoffUs, 0) {
+		return fmt.Errorf("gcsteering: RetryBackoffUs %v invalid", c.RetryBackoffUs)
 	}
 	if c.HedgedReads && c.Level != RAID5 && c.Level != RAID6 {
 		return fmt.Errorf("gcsteering: HedgedReads needs RAID5/6 parity (level %v)", c.Level)

@@ -67,7 +67,10 @@ func (s *Steering) drainNext(now sim.Time, disk int) {
 		s.draining[disk] = false
 		return
 	}
-	if s.devs[disk].InGC(now) || (s.rebuilding && !s.stagingPressure()) {
+	if s.devs[disk].InGC(now) || s.unhealthy(now, disk) ||
+		(s.rebuilding && !s.stagingPressure()) {
+		// A quarantined home gets no write-back traffic either; the facade
+		// kicks the drain again when the breaker closes (same hook as GC-end).
 		s.draining[disk] = false
 		return
 	}

@@ -74,8 +74,15 @@ type Stats struct {
 	GCPages           int64
 	GCPagesRedirected int64
 
+	// QuarantinePages counts pages addressed to a health-quarantined disk;
+	// QuarantinePagesRedirected those that dodged it — the same pair as
+	// GCPages for the generalized busy signal.
+	QuarantinePages           int64
+	QuarantinePagesRedirected int64
+
 	Migrations        int64 // hot-read pages copied to staging
 	MigrationsSkipped int64 // hot pages not migrated (budget exhausted)
+	MigrationsShed    int64 // hot pages not migrated (queue pressure)
 	// WriteAllocFallbacks counts steered writes where the allocator was
 	// actually asked for a slot and had none; WriteAllocGated counts writes
 	// that skipped allocation entirely because the rebuild-headroom gate was
@@ -114,6 +121,19 @@ type Steering struct {
 	// Trace, when non-nil, receives steering decisions: redirects,
 	// migrations, allocator fallbacks/gated skips, and reclaim runs.
 	Trace *obs.Tracer
+
+	// Unhealthy, when non-nil, reports members the health monitor has
+	// quarantined. The redirector treats them exactly like collecting
+	// disks — reads of staged pages dodge them, writes are steered away —
+	// and additionally migrates their hot read pages to staging, since a
+	// quarantine (unlike a GC episode) can outlast the popularity of the
+	// data stuck on the sick member.
+	Unhealthy func(now sim.Time, disk int) bool
+
+	// Pressure, when non-nil, reports queue pressure (admission control
+	// nearly full); hot-read migrations are shed while it holds so
+	// background copies do not compete with a saturated foreground.
+	Pressure func() bool
 }
 
 // New wires a Steering controller onto the array. It replaces the array's
@@ -268,6 +288,11 @@ func (s *Steering) RestoreDTable(data []byte) error {
 	return nil
 }
 
+// unhealthy consults the health monitor's quarantine signal, if wired.
+func (s *Steering) unhealthy(now sim.Time, disk int) bool {
+	return s.Unhealthy != nil && s.Unhealthy(now, disk)
+}
+
 // RedirectRatio returns the fraction of GC-period pages that dodged a
 // collecting disk (the paper's 85.5% metric). Zero when no GC was observed.
 func (s *Steering) RedirectRatio() float64 {
@@ -312,6 +337,7 @@ func barrier(n int, done func(sim.Time)) func(sim.Time) {
 func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) bool {
 	disk := op.Disk
 	inGC := s.devs[disk].InGC(now)
+	quar := s.unhealthy(now, disk)
 
 	staged := make([]StageLoc, 0, op.Pages)
 	anyStaged := false
@@ -326,7 +352,10 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 	if inGC {
 		s.stats.GCPages += int64(op.Pages)
 	}
-	if !anyStaged && !inGC {
+	if quar {
+		s.stats.QuarantinePages += int64(op.Pages)
+	}
+	if !anyStaged && !inGC && !quar {
 		// Fast path: nothing staged, disk healthy. Track popularity and
 		// maybe migrate, but let the array issue the op itself.
 		s.observeRead(now, op)
@@ -358,6 +387,9 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 		if inGC {
 			s.stats.GCPagesRedirected++
 		}
+		if quar {
+			s.stats.QuarantinePagesRedirected++
+		}
 		if s.Trace.Enabled() {
 			s.Trace.Emit(now, obs.Event{Kind: obs.KRedirectRead,
 				Dev: int32(disk), Page: int64(op.Page + i), Pages: 1,
@@ -369,7 +401,28 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 		s.stats.DirectReads += int64(r.pages)
 		must(s.devs[disk].Read(now, r.page, r.pages, cb))
 	}
+	if quar && op.Kind == raid.OpDataRead && op.Pages <= s.scanThreshold() {
+		// A quarantine, unlike a GC episode, can outlast the popularity of
+		// the data stuck on the sick member: keep tracking the pages that
+		// still had to be read directly so their hot ones escape to the
+		// staging space. (GC-only busy reads intentionally skip this — GC
+		// episodes end on their own, and tracking here would change the
+		// established GC-path behaviour.)
+		for _, r := range direct {
+			for i := 0; i < r.pages; i++ {
+				s.touchAndMigrate(now, disk, int32(r.page+i))
+			}
+		}
+	}
 	return true
+}
+
+// scanThreshold returns the effective scan-resistance cutoff in pages.
+func (s *Steering) scanThreshold() int {
+	if s.cfg.ScanThresholdPages > 0 {
+		return s.cfg.ScanThresholdPages
+	}
+	return 8
 }
 
 // observeRead updates the popularity tracker and proactively migrates
@@ -381,42 +434,53 @@ func (s *Steering) observeRead(now sim.Time, op raid.SubOp) {
 	if op.Kind != raid.OpDataRead {
 		return // RMW old-data reads are not popularity signals
 	}
-	scan := s.cfg.ScanThresholdPages
-	if scan <= 0 {
-		scan = 8
-	}
-	if op.Pages > scan {
+	if op.Pages > s.scanThreshold() {
 		return // scan resistance: large sequential reads are not hot data
 	}
-	lru := s.hot[op.Disk]
+	for i := 0; i < op.Pages; i++ {
+		s.touchAndMigrate(now, op.Disk, int32(op.Page+i))
+	}
+}
+
+// touchAndMigrate records one read of (disk, page) in the popularity
+// tracker and, once the page crosses the migrate threshold, copies it to
+// the staging space — unless the admission controller reports queue
+// pressure, in which case the copy is shed (the page stays tracked and
+// gets another chance on its next read).
+func (s *Steering) touchAndMigrate(now sim.Time, disk int, page int32) {
 	threshold := s.cfg.MigrateThreshold
 	if threshold <= 0 {
 		threshold = 2
 	}
-	for i := 0; i < op.Pages; i++ {
-		page := int32(op.Page + i)
-		hits := lru.Touch(page)
-		if hits < threshold || !s.cfg.MigrateHotReads {
-			continue
-		}
-		key := PageKey{Disk: int32(op.Disk), Page: page}
-		if _, already := s.dt.Get(key); already {
-			continue
-		}
-		loc, ok := s.staging.AllocRead(now, op.Disk, true)
-		if !ok {
-			s.stats.MigrationsSkipped++
-			continue
-		}
-		s.dt.Put(key, loc, false)
-		s.stats.Migrations++
-		if s.Trace.Enabled() {
-			s.Trace.Emit(now, obs.Event{Kind: obs.KMigrate,
-				Dev: int32(op.Disk), Page: int64(page), Pages: 1,
-				Aux: int64(loc.Dev0)})
-		}
-		s.staging.Write(now, loc, nil)
+	hits := s.hot[disk].Touch(page)
+	if hits < threshold || !s.cfg.MigrateHotReads {
+		return
 	}
+	key := PageKey{Disk: int32(disk), Page: page}
+	if _, already := s.dt.Get(key); already {
+		return
+	}
+	if s.Pressure != nil && s.Pressure() {
+		s.stats.MigrationsShed++
+		if s.Trace.Enabled() {
+			s.Trace.Emit(now, obs.Event{Kind: obs.KShed,
+				Dev: int32(disk), Page: int64(page), Pages: 1, Aux: 1})
+		}
+		return
+	}
+	loc, ok := s.staging.AllocRead(now, disk, true)
+	if !ok {
+		s.stats.MigrationsSkipped++
+		return
+	}
+	s.dt.Put(key, loc, false)
+	s.stats.Migrations++
+	if s.Trace.Enabled() {
+		s.Trace.Emit(now, obs.Event{Kind: obs.KMigrate,
+			Dev: int32(disk), Page: int64(page), Pages: 1,
+			Aux: int64(loc.Dev0)})
+	}
+	s.staging.Write(now, loc, nil)
 }
 
 // routeWrite serves a write sub-op. While the home disk is collecting (or
@@ -427,9 +491,13 @@ func (s *Steering) observeRead(now sim.Time, op raid.SubOp) {
 func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) bool {
 	disk := op.Disk
 	inGC := s.devs[disk].InGC(now)
-	steerAll := inGC || s.rebuilding
+	quar := s.unhealthy(now, disk)
+	steerAll := inGC || quar || s.rebuilding
 	if inGC {
 		s.stats.GCPages += int64(op.Pages)
+	}
+	if quar {
+		s.stats.QuarantinePages += int64(op.Pages)
 	}
 
 	if !steerAll {
@@ -492,6 +560,9 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 				s.stats.RedirectedWrites++
 				if inGC {
 					s.stats.GCPagesRedirected++
+				}
+				if quar {
+					s.stats.QuarantinePagesRedirected++
 				}
 				if s.Trace.Enabled() {
 					s.Trace.Emit(now, obs.Event{Kind: obs.KRedirectWrite,

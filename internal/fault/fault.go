@@ -67,6 +67,13 @@ type Plan struct {
 	// Only end-to-end checksum verification (raid.Array.VerifyReads, the
 	// scrubber) detects them; without it the corruption goes unnoticed.
 	CorruptPageRate float64
+	// TransientReadErrorRate is the per-page probability that one read
+	// *attempt* fails transiently (a command timeout or a correctable blip
+	// the drive's firmware resolves on the spot). Unlike UREPerPageRead,
+	// each attempt draws independently — a bounded retry of the same extent
+	// succeeds with high probability, so the array's retry path, not its
+	// reconstruction path, absorbs these.
+	TransientReadErrorRate float64
 	// RepairDelay is the hot-spare activation lag between a failure and
 	// the automatic rebuild start.
 	RepairDelay sim.Time
@@ -81,7 +88,8 @@ type Plan struct {
 // Empty reports whether the plan injects nothing at all.
 func (p Plan) Empty() bool {
 	return len(p.Failures) == 0 && len(p.Slowdowns) == 0 &&
-		p.UREPerPageRead <= 0 && p.LatentPageRate <= 0 && p.CorruptPageRate <= 0
+		p.UREPerPageRead <= 0 && p.LatentPageRate <= 0 && p.CorruptPageRate <= 0 &&
+		p.TransientReadErrorRate <= 0
 }
 
 // validRate reports whether r is a usable per-page probability. NaN fails
@@ -126,6 +134,9 @@ func (p Plan) Validate(disks, channels int) error {
 	if !validRate(p.CorruptPageRate) {
 		return fmt.Errorf("fault: CorruptPageRate %v outside [0, 1)", p.CorruptPageRate)
 	}
+	if !validRate(p.TransientReadErrorRate) {
+		return fmt.Errorf("fault: TransientReadErrorRate %v outside [0, 1)", p.TransientReadErrorRate)
+	}
 	if p.RepairDelay < 0 {
 		return fmt.Errorf("fault: negative RepairDelay %v", p.RepairDelay)
 	}
@@ -142,6 +153,8 @@ type Injector struct {
 	dev        int
 	urePerPage float64
 	rng        *rand.Rand
+	transient  float64
+	trng       *rand.Rand   // independent stream for transient-attempt draws
 	slow       []Slowdown   // this device's windows only
 	bad        map[int]bool // persistent latent sector errors, by page
 	corrupt    map[int]bool // persistent silent corruption, by page
@@ -179,6 +192,8 @@ func NewInjector(dev, pages int, p Plan) *Injector {
 		dev:        dev,
 		urePerPage: p.UREPerPageRead,
 		rng:        rand.New(rand.NewSource(p.Seed ^ (0x5851F42D4C957F2D * int64(dev+1)))),
+		transient:  p.TransientReadErrorRate,
+		trng:       rand.New(rand.NewSource(p.Seed ^ (0x2545F4914F6CDD1D * int64(dev+1)))),
 		bad:        seedPages(p.Seed, 0x1E3779B97F4A7C15, dev, pages, p.LatentPageRate),
 		corrupt:    seedPages(p.Seed, 0x61C8864680B583EB, dev, pages, p.CorruptPageRate),
 	}
@@ -232,6 +247,20 @@ func (i *Injector) ReadError(now sim.Time, lpn, pages int) bool {
 	}
 	p := 1 - math.Pow(1-i.urePerPage, float64(pages))
 	return i.rng.Float64() < p
+}
+
+// TransientReadError implements ssd.TransientHook. Each call is an
+// independent Bernoulli draw with success probability 1-(1-p)^pages — the
+// chance at least one page of the attempt hits a transient blip — from a
+// stream separate from the URE stream, so enabling one rate never shifts
+// the other's sequence. A zero rate draws nothing at all, keeping
+// retry-enabled healthy runs byte-identical to the baseline.
+func (i *Injector) TransientReadError(now sim.Time, lpn, pages int) bool {
+	if i.failed || i.transient <= 0 {
+		return false
+	}
+	p := 1 - math.Pow(1-i.transient, float64(pages))
+	return i.trng.Float64() < p
 }
 
 // LatentError implements ssd.ScrubHook: whether [lpn, lpn+pages) holds a

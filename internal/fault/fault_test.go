@@ -2,6 +2,7 @@ package fault
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"gcsteering/internal/raid"
@@ -78,37 +79,59 @@ func spareSinkFor(eng *sim.Engine, pages int) func(sim.Time, int) (rebuild.Sink,
 }
 
 func TestPlanValidate(t *testing.T) {
-	cases := []Plan{
-		{Failures: []DiskFailure{{Disk: 9, At: 0}}},
-		{Failures: []DiskFailure{{Disk: 0, At: -1}}},
-		{Slowdowns: []Slowdown{{Disk: -1, Duration: 1, Start: 0}}},
-		{Slowdowns: []Slowdown{{Disk: 0, Duration: 0}}},
-		{Slowdowns: []Slowdown{{Disk: 0, Channel: -2, Start: 0, Duration: 1}}},
-		{Slowdowns: []Slowdown{{Disk: 0, Channel: 8, Start: 0, Duration: 1}}},
-		{Slowdowns: []Slowdown{{Disk: 0, Start: -1, Duration: 1}}},
-		{Slowdowns: []Slowdown{{Disk: 0, Start: 0, Duration: 1, Extra: -1}}},
-		{UREPerPageRead: 1.5},
-		{UREPerPageRead: -0.1},
-		{UREPerPageRead: math.NaN()},
-		{LatentPageRate: -0.1},
-		{LatentPageRate: math.NaN()},
-		{CorruptPageRate: 1},
-		{CorruptPageRate: math.NaN()},
-		{RepairDelay: -1},
+	// One case per error branch of Validate, asserting the branch that
+	// fired by its message — a later branch accepting what an earlier one
+	// should have rejected is a bug this table catches.
+	cases := []struct {
+		name string
+		plan Plan
+		want string
+	}{
+		{"failure disk too high", Plan{Failures: []DiskFailure{{Disk: 9, At: 0}}}, "failure targets disk 9"},
+		{"failure disk negative", Plan{Failures: []DiskFailure{{Disk: -1, At: 0}}}, "failure targets disk -1"},
+		{"failure at negative time", Plan{Failures: []DiskFailure{{Disk: 0, At: -1}}}, "negative time"},
+		{"slowdown disk too high", Plan{Slowdowns: []Slowdown{{Disk: 5, Duration: 1}}}, "slowdown targets disk 5"},
+		{"slowdown disk negative", Plan{Slowdowns: []Slowdown{{Disk: -1, Duration: 1}}}, "slowdown targets disk -1"},
+		{"slowdown channel below -1", Plan{Slowdowns: []Slowdown{{Disk: 0, Channel: -2, Duration: 1}}}, "use -1 for all"},
+		{"slowdown channel too high", Plan{Slowdowns: []Slowdown{{Disk: 0, Channel: 8, Duration: 1}}}, "channel 8 of 8"},
+		{"slowdown negative start", Plan{Slowdowns: []Slowdown{{Disk: 0, Start: -1, Duration: 1}}}, "invalid window/extra"},
+		{"slowdown zero duration", Plan{Slowdowns: []Slowdown{{Disk: 0, Duration: 0}}}, "invalid window/extra"},
+		{"slowdown negative extra", Plan{Slowdowns: []Slowdown{{Disk: 0, Duration: 1, Extra: -1}}}, "invalid window/extra"},
+		{"URE rate at 1", Plan{UREPerPageRead: 1}, "UREPerPageRead 1 outside"},
+		{"URE rate above 1", Plan{UREPerPageRead: 1.5}, "UREPerPageRead 1.5 outside"},
+		{"URE rate negative", Plan{UREPerPageRead: -0.1}, "UREPerPageRead -0.1 outside"},
+		{"URE rate NaN", Plan{UREPerPageRead: math.NaN()}, "UREPerPageRead NaN outside"},
+		{"latent rate negative", Plan{LatentPageRate: -0.1}, "LatentPageRate -0.1 outside"},
+		{"latent rate at 1", Plan{LatentPageRate: 1}, "LatentPageRate 1 outside"},
+		{"latent rate NaN", Plan{LatentPageRate: math.NaN()}, "LatentPageRate NaN outside"},
+		{"corrupt rate at 1", Plan{CorruptPageRate: 1}, "CorruptPageRate 1 outside"},
+		{"corrupt rate negative", Plan{CorruptPageRate: -0.5}, "CorruptPageRate -0.5 outside"},
+		{"corrupt rate NaN", Plan{CorruptPageRate: math.NaN()}, "CorruptPageRate NaN outside"},
+		{"transient rate at 1", Plan{TransientReadErrorRate: 1}, "TransientReadErrorRate 1 outside"},
+		{"transient rate negative", Plan{TransientReadErrorRate: -1e-6}, "TransientReadErrorRate -1e-06 outside"},
+		{"transient rate NaN", Plan{TransientReadErrorRate: math.NaN()}, "TransientReadErrorRate NaN outside"},
+		{"negative repair delay", Plan{RepairDelay: -1}, "negative RepairDelay"},
 	}
-	for i, p := range cases {
-		if err := p.Validate(5, 8); err == nil {
-			t.Errorf("case %d: invalid plan %+v accepted", i, p)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(5, 8)
+			if err == nil {
+				t.Fatalf("invalid plan %+v accepted", tc.plan)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending field (want substring %q)", err, tc.want)
+			}
+		})
 	}
 	good := Plan{
-		Failures:        []DiskFailure{{Disk: 2, At: sim.Second}},
-		Slowdowns:       []Slowdown{{Disk: 0, Channel: -1, Start: 0, Duration: sim.Second, Extra: sim.Microsecond}},
-		UREPerPageRead:  1e-4,
-		LatentPageRate:  1e-3,
-		CorruptPageRate: 1e-3,
-		RepairDelay:     sim.Millisecond,
-		RebuildMBps:     10,
+		Failures:               []DiskFailure{{Disk: 2, At: sim.Second}},
+		Slowdowns:              []Slowdown{{Disk: 0, Channel: -1, Start: 0, Duration: sim.Second, Extra: sim.Microsecond}},
+		UREPerPageRead:         1e-4,
+		LatentPageRate:         1e-3,
+		CorruptPageRate:        1e-3,
+		TransientReadErrorRate: 1e-4,
+		RepairDelay:            sim.Millisecond,
+		RebuildMBps:            10,
 	}
 	if err := good.Validate(5, 8); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
@@ -123,6 +146,9 @@ func TestPlanValidate(t *testing.T) {
 	}
 	if !(Plan{}).Empty() {
 		t.Fatal("zero plan not Empty")
+	}
+	if (Plan{TransientReadErrorRate: 1e-4}).Empty() {
+		t.Fatal("transient-only plan reported Empty")
 	}
 }
 

@@ -41,6 +41,79 @@ func TestGridDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFailSlowGridDeterministicAcrossWorkers pins the robustness machinery
+// (health breakers, hedged quarantine reads, retries with backoff) inside
+// the same determinism envelope as the base grids: the fail-slow grid must
+// be identical whether its cells run serially or fanned out.
+func TestFailSlowGridDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	serial := tinyOptions()
+	serial.MaxRequests = 400
+	serial.Workers = 1
+	fanned := serial
+	fanned.Workers = runtime.GOMAXPROCS(0)
+
+	gs, err := FailSlow(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := FailSlow(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gs.Mean, gf.Mean) {
+		t.Errorf("primary metric differs across worker counts:\nserial: %v\nfanned: %v", gs.Mean, gf.Mean)
+	}
+	if !reflect.DeepEqual(gs.Aux, gf.Aux) {
+		t.Errorf("aux metrics differ across worker counts")
+	}
+}
+
+// TestRobustZeroCostWhenHealthy asserts the robustness knobs' core promise:
+// with no fault injected, enabling the health monitor, bounded retries, and
+// admission control reproduces the baseline run byte-identically. The
+// monitor observes synchronously and schedules engine events only when a
+// breaker opens; the retry path draws nothing when no error fires; an
+// unreached QueueLimit only counts in-flight requests — so a healthy array
+// must not be able to tell the machinery is armed.
+func TestRobustZeroCostWhenHealthy(t *testing.T) {
+	run := func(armed bool) []byte {
+		var buf bytes.Buffer
+		cfg := tinyOptions().Base()
+		cfg.Trace = gcsteering.NewTracer(&buf)
+		if armed {
+			cfg.Quarantine = true
+			cfg.MaxRetries = 2
+			cfg.RetryBackoffUs = 200
+			cfg.QueueLimit = 4096
+		}
+		sys, err := gcsteering.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sys.GenerateWorkload("HPC_W", 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Replay(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Trace.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base, armed := run(false), run(true)
+	if len(base) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if !bytes.Equal(base, armed) {
+		t.Fatalf("robustness knobs changed a healthy run (%d vs %d trace bytes)", len(base), len(armed))
+	}
+}
+
 // TestTraceDeterministic asserts the tracer's byte stream is a pure function
 // of (Config, seed): two identically configured systems replaying the same
 // workload emit identical JSONL.

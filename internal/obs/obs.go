@@ -109,7 +109,7 @@ const (
 	KChecksumError
 	// KHedgedRead is a read raced against a parity reconstruction because
 	// its home disk was busy. dev = home disk, page/pages = disk extent,
-	// aux = 1 home mid-GC, 2 home fail-slow.
+	// aux = 1 home mid-GC, 2 home fail-slow, 3 home quarantined.
 	KHedgedRead
 	// KHedgeWin settles a hedged read. dev = home disk, aux = 1 when the
 	// reconstruction leg won, 0 when the direct read did, aux2 = elapsed
@@ -131,6 +131,36 @@ const (
 	// KScrubDone completes one patrol pass. aux = units repaired so far,
 	// aux2 = pass duration (ns).
 	KScrubDone
+	// KQuarantine is a device circuit breaker opening: the health monitor
+	// judged the member fail-slow and steering now avoids it. dev = device,
+	// aux = EWMA per-page latency (ns), aux2 = consecutive re-opens so far.
+	KQuarantine
+	// KHealthProbe is a half-open breaker judging one probe observation.
+	// dev = device, aux = observed per-page latency (ns), aux2 = 1 when the
+	// probe was clean (breaker closes), 0 when still slow (re-opens).
+	KHealthProbe
+	// KReinstate is a breaker closing after a clean probe. dev = device,
+	// aux = total quarantined time this episode (ns).
+	KReinstate
+	// KDeadlineExceeded is a user request cancelled at its deadline before
+	// completion. page/pages = logical extent, aux = deadline (ns),
+	// aux2 = request sequence number.
+	KDeadlineExceeded
+	// KRetry is a transiently-failed read sub-op scheduled for another
+	// attempt. dev = disk, page/pages = extent, aux = attempt number (from
+	// 1), aux2 = backoff until the retry (ns).
+	KRetry
+	// KRetryExhausted is a read sub-op giving up after its retry budget.
+	// dev = disk, page/pages = extent, aux = attempts made.
+	KRetryExhausted
+	// KReject is a user request refused by admission control. page/pages =
+	// logical extent, aux = in-flight requests at the time, aux2 = request
+	// sequence number.
+	KReject
+	// KShed is background work paused under queue pressure. dev = home disk
+	// (-1 for scrub), aux = 1 hot-read migration skipped, 2 scrub stripe
+	// deferred.
+	KShed
 
 	kindCount
 )
@@ -164,6 +194,15 @@ var kindNames = [kindCount]string{
 	KScrubBusy:     "scrub-busy",
 	KScrubYield:    "scrub-yield",
 	KScrubDone:     "scrub-done",
+
+	KQuarantine:       "quarantine",
+	KHealthProbe:      "health-probe",
+	KReinstate:        "reinstate",
+	KDeadlineExceeded: "deadline-exceeded",
+	KRetry:            "retry",
+	KRetryExhausted:   "retry-exhausted",
+	KReject:           "reject",
+	KShed:             "shed",
 }
 
 // String returns the kind's wire name.

@@ -1,11 +1,34 @@
 package raid
 
 import (
+	"errors"
 	"fmt"
 
 	"gcsteering/internal/obs"
 	"gcsteering/internal/sim"
 )
+
+// ErrOverloaded is returned by Read/Write when admission control refuses
+// the request: the array already has QueueLimit requests in flight. The
+// caller sheds the request instead of queueing it into an ever-deeper
+// backlog.
+var ErrOverloaded = errors.New("raid: array overloaded")
+
+// Cancel is a request-scoped cancellation token. The facade arms one per
+// request when deadlines are enabled; sub-ops not yet issued when the
+// token fires (an RMW write phase, a retry) are absorbed instead of
+// touching the disks. A nil *Cancel is the never-cancelled token.
+type Cancel struct{ canceled bool }
+
+// Cancel marks the token cancelled. Nil-safe.
+func (c *Cancel) Cancel() {
+	if c != nil {
+		c.canceled = true
+	}
+}
+
+// Canceled reports whether the token has been cancelled. Nil-safe.
+func (c *Cancel) Canceled() bool { return c != nil && c.canceled }
 
 func boolInt(b bool) int64 {
 	if b {
@@ -109,27 +132,42 @@ type SlowDisk interface {
 	Slow(now sim.Time) bool
 }
 
+// TransientFaulty is implemented by disks whose read attempts can fail
+// transiently. Unlike Faulty's persistent latent errors, each attempt
+// draws independently, so the array's bounded-retry path — not its parity
+// reconstruction path — absorbs these.
+type TransientFaulty interface {
+	TransientReadError(now sim.Time, page, pages int) bool
+}
+
 // Stats counts array-level activity.
 type Stats struct {
-	UserReads      int64
-	UserWrites     int64
-	SubOps         int64
-	DegradedReads  int64 // reconstruct-reads for data on the failed disk
-	FullStripes    int64 // writes served as full-stripe (no RMW read phase)
-	RMWStripes     int64 // writes served read-modify-write
-	ReconstructWr  int64 // degraded reconstruct-writes
-	GCAvoidWrites  int64 // reconstruct-writes chosen to dodge a collecting disk
-	ParityPages    int64 // parity pages written
-	RoutedSubOps   int64 // sub-ops claimed by the Route hook
-	SubOpsDuringGC int64 // sub-ops addressed to a disk while it was in GC
-	UREs           int64 // user reads that hit an unrecoverable read error
-	URERepaired    int64 // UREs served by reconstruction from the survivors
-	DataLossEvents int64 // UREs/corruptions with no redundancy left to recover from
-	StaleSubOps    int64 // sub-ops absorbed because their disk failed mid-op
-	ChecksumErrors int64 // reads whose end-to-end checksum verification failed
-	ChecksumFixed  int64 // checksum failures served by reconstruction instead
-	HedgedReads    int64 // reads raced against a parity reconstruct-read
-	HedgeReconWins int64 // hedged reads where the reconstruction finished first
+	UserReads       int64
+	UserWrites      int64
+	SubOps          int64
+	DegradedReads   int64 // reconstruct-reads for data on a failed or quarantined disk
+	QuarantineReads int64 // the subset of HedgedReads raced because of an open breaker
+	FullStripes     int64 // writes served as full-stripe (no RMW read phase)
+	RMWStripes      int64 // writes served read-modify-write
+	ReconstructWr   int64 // degraded reconstruct-writes
+	GCAvoidWrites   int64 // reconstruct-writes chosen to dodge a collecting disk
+	ParityPages     int64 // parity pages written
+	RoutedSubOps    int64 // sub-ops claimed by the Route hook
+	SubOpsDuringGC  int64 // sub-ops addressed to a disk while it was in GC
+	UREs            int64 // user reads that hit an unrecoverable read error
+	URERepaired     int64 // UREs served by reconstruction from the survivors
+	DataLossEvents  int64 // UREs/corruptions with no redundancy left to recover from
+	StaleSubOps     int64 // sub-ops absorbed because their disk failed mid-op
+	ChecksumErrors  int64 // reads whose end-to-end checksum verification failed
+	ChecksumFixed   int64 // checksum failures served by reconstruction instead
+	HedgedReads     int64 // reads raced against a parity reconstruct-read
+	HedgeReconWins  int64 // hedged reads where the reconstruction finished first
+
+	Rejected         int64 // user requests refused by admission control
+	TransientErrors  int64 // read sub-op attempts that failed transiently
+	Retries          int64 // retry attempts scheduled after a transient error
+	RetriesExhausted int64 // read sub-ops that gave up after MaxRetries
+	CanceledSubOps   int64 // sub-ops absorbed because their request's deadline passed
 }
 
 // Array is the timed RAID engine: it fans user requests out to member
@@ -172,7 +210,23 @@ type Array struct {
 	// degraded-read / unrecoverable-read-error events.
 	Trace *obs.Tracer
 
+	// MaxRetries bounds transparent retries of read sub-ops that fail
+	// transiently (TransientFaulty). Zero disables retries: a transient
+	// error is simply delivered as a completed (slow) read.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubling on each
+	// subsequent attempt. Zero with MaxRetries > 0 retries immediately.
+	RetryBackoff sim.Time
+	// QueueLimit caps concurrently in-flight user requests; Read/Write
+	// return ErrOverloaded beyond it. Zero means unlimited.
+	QueueLimit int
+	// Quarantined, when non-nil, reports members the health monitor has
+	// quarantined; the array treats them like collecting disks when
+	// choosing write strategies and hedging reads.
+	Quarantined func(now sim.Time, d int) bool
+
 	mirrorNext int // round-robin cursor for RAID1 read balancing
+	inflight   int // user requests admitted but not yet completed
 	stats      Stats
 }
 
@@ -286,7 +340,18 @@ func (a *Array) Alive(d int) bool { return a.alive(d) }
 func (a *Array) SpareRedundancy() int { return a.maxFailures() - len(a.failed) }
 
 // issue routes one sub-op to the member disk (or the Route hook).
-func (a *Array) issue(now sim.Time, op SubOp, done func(now sim.Time)) {
+func (a *Array) issue(now sim.Time, op SubOp, tok *Cancel, done func(now sim.Time)) {
+	if tok.Canceled() {
+		// The request's deadline passed while this op waited on an earlier
+		// phase (an RMW write phase behind its reads, a backed-off retry).
+		// It is absorbed exactly like a stale sub-op: completed immediately
+		// without touching the disk, so the enclosing barrier still settles.
+		a.stats.CanceledSubOps++
+		if done != nil {
+			a.eng.At(now, done)
+		}
+		return
+	}
 	if !a.alive(op.Disk) {
 		// The disk failed after this op's plan was made (a failure injected
 		// between the read and write phases of an in-flight RMW). The write
@@ -315,8 +380,68 @@ func (a *Array) issue(now sim.Time, op SubOp, done func(now sim.Time)) {
 	if op.Kind == OpDataWrite || op.Kind == OpParityWrite {
 		must(a.disks[op.Disk].Write(now, op.Page, op.Pages, done))
 	} else {
-		must(a.disks[op.Disk].Read(now, op.Page, op.Pages, done))
+		a.issueRead(now, op, tok, done, 0)
 	}
+}
+
+// issueRead sends one read sub-op to its member, retrying transient
+// failures with exponential backoff up to MaxRetries. The failed attempt
+// still occupies the channel — a real drive burns the bus time before
+// reporting the timeout — so the retry is scheduled from the attempt's
+// completion instant. With no transient fault (the common case) this is
+// exactly the plain read issue: one disk call, no extra events.
+func (a *Array) issueRead(now sim.Time, op SubOp, tok *Cancel, done func(now sim.Time), attempt int) {
+	td, ok := a.disks[op.Disk].(TransientFaulty)
+	if !ok || !td.TransientReadError(now, op.Page, op.Pages) {
+		must(a.disks[op.Disk].Read(now, op.Page, op.Pages, done))
+		return
+	}
+	a.stats.TransientErrors++
+	cb := func(t sim.Time) {
+		if attempt >= a.MaxRetries || tok.Canceled() {
+			// Out of budget (or the request no longer cares): deliver the
+			// attempt as a completed, slow read. Persistent-error recovery
+			// (the URE path) was already consulted before the fan-out.
+			if attempt >= a.MaxRetries {
+				a.stats.RetriesExhausted++
+				if a.Trace.Enabled() {
+					a.Trace.Emit(t, obs.Event{Kind: obs.KRetryExhausted, Dev: int32(op.Disk),
+						Page: int64(op.Page), Pages: int32(op.Pages), Aux: int64(attempt + 1)})
+				}
+			}
+			if done != nil {
+				done(t)
+			}
+			return
+		}
+		backoff := a.RetryBackoff << attempt
+		a.stats.Retries++
+		if a.Trace.Enabled() {
+			a.Trace.Emit(t, obs.Event{Kind: obs.KRetry, Dev: int32(op.Disk),
+				Page: int64(op.Page), Pages: int32(op.Pages),
+				Aux: int64(attempt + 1), Aux2: int64(backoff)})
+		}
+		a.eng.At(t+backoff, func(t2 sim.Time) {
+			if tok.Canceled() {
+				a.stats.CanceledSubOps++
+				if done != nil {
+					done(t2)
+				}
+				return
+			}
+			if !a.alive(op.Disk) {
+				a.stats.StaleSubOps++
+				if done != nil {
+					done(t2)
+				}
+				return
+			}
+			a.issueRead(t2, op, tok, done, attempt+1)
+		})
+	}
+	// The failed attempt needs a completion event to drive the retry even
+	// when the caller passed no done callback.
+	must(a.disks[op.Disk].Read(now, op.Page, op.Pages, cb))
 }
 
 // barrier returns a completion callback that fires done after n calls,
@@ -349,8 +474,14 @@ func (a *Array) verifyError(now sim.Time, d, page, pages int) bool {
 	return ok && v.VerifyError(now, page, pages)
 }
 
+// quarantined consults the health monitor's signal, if wired.
+func (a *Array) quarantined(now sim.Time, d int) bool {
+	return a.Quarantined != nil && a.Quarantined(now, d)
+}
+
 // hedgeReason reports why extent e's home disk deserves a hedged read:
-// 1 when the disk is mid-GC, 2 when it is fail-slow, 0 for no hedge.
+// 1 when the disk is mid-GC, 2 when it is fail-slow, 3 when the health
+// monitor has quarantined it, 0 for no hedge.
 func (a *Array) hedgeReason(now sim.Time, e Extent) int64 {
 	if a.lay.Level != RAID5 && a.lay.Level != RAID6 {
 		return 0
@@ -361,6 +492,9 @@ func (a *Array) hedgeReason(now sim.Time, e Extent) int64 {
 	}
 	if sd, ok := d.(SlowDisk); ok && sd.Slow(now) {
 		return 2
+	}
+	if a.quarantined(now, e.Disk) {
+		return 3
 	}
 	return 0
 }
@@ -404,12 +538,56 @@ type hedge struct {
 	recon  []SubOp
 }
 
+// admit applies queue-depth admission control and wraps done to release
+// the in-flight slot on completion. It returns ErrOverloaded when the
+// array is full. Requests without a completion callback are not tracked —
+// nothing would ever release their slot.
+func (a *Array) admit(done func(now sim.Time)) (func(now sim.Time), error) {
+	if a.QueueLimit > 0 && a.inflight >= a.QueueLimit {
+		a.stats.Rejected++
+		return nil, ErrOverloaded
+	}
+	if done == nil {
+		return nil, nil
+	}
+	a.inflight++
+	released := false
+	return func(t sim.Time) {
+		if !released {
+			released = true
+			a.inflight--
+		}
+		done(t)
+	}, nil
+}
+
+// Inflight returns how many admitted user requests have not yet completed.
+func (a *Array) Inflight() int { return a.inflight }
+
+// UnderPressure reports whether the admission queue is at least 3/4 full —
+// the signal for shedding background work (hot-read migration, scrub
+// pacing) before user I/O has to be rejected. Always false without a
+// QueueLimit.
+func (a *Array) UnderPressure() bool {
+	return a.QueueLimit > 0 && a.inflight*4 >= a.QueueLimit*3
+}
+
 // Read services a user read of pages logical pages starting at page. done,
 // if non-nil, fires when the last byte is available. A malformed range is
 // returned as an error; nothing is issued.
 func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) error {
+	return a.ReadCancelable(now, page, pages, nil, done)
+}
+
+// ReadCancelable is Read with a cancellation token: sub-ops not yet issued
+// when tok fires (backed-off retries) are absorbed. It returns
+// ErrOverloaded when admission control refuses the request.
+func (a *Array) ReadCancelable(now sim.Time, page, pages int, tok *Cancel, done func(now sim.Time)) error {
 	exts, err := a.lay.SplitExtent(page, pages)
 	if err != nil {
+		return err
+	}
+	if done, err = a.admit(done); err != nil {
 		return err
 	}
 	a.stats.UserReads++
@@ -419,7 +597,7 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) err
 	for _, e := range exts {
 		switch {
 		case a.lay.Level == RAID1:
-			d := a.pickMirror()
+			d := a.pickMirror(now)
 			if a.readError(now, d, e.Page, e.Pages) {
 				a.stats.UREs++
 				alt, ok := a.pickMirrorWithout(now, d, e.Page, e.Pages)
@@ -487,6 +665,32 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) err
 				}
 				a.stats.DataLossEvents++
 			}
+			if a.quarantined(now, e.Disk) {
+				// An open breaker means the member is suspect, not gone: race
+				// the direct read against a parity reconstruction from the
+				// stripe's peers and settle on whichever finishes first. A
+				// pure reconstruct-read would amplify every quarantined read
+				// into N-2 data reads plus parity on the surviving members,
+				// and under pressure that fan-in is often slower than even
+				// the fail-slow member — the race takes the minimum. Parity
+				// is updated in place even for steered writes, so the
+				// reconstruction is always current. Falls through to a plain
+				// direct read when the surviving redundancy cannot cover the
+				// extent.
+				if rec, ok := a.reconstructItems(e); ok && len(rec) > 0 {
+					a.stats.HedgedReads++
+					a.stats.QuarantineReads++
+					if a.Trace.Enabled() {
+						a.Trace.Emit(now, obs.Event{Kind: obs.KHedgedRead, Dev: int32(e.Disk),
+							Page: int64(e.Page), Pages: int32(e.Pages), Aux: 3})
+					}
+					hedges = append(hedges, hedge{
+						direct: SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataRead, Stripe: e.Stripe},
+						recon:  rec,
+					})
+					continue
+				}
+			}
 			if a.HedgedReads {
 				if reason := a.hedgeReason(now, e); reason != 0 {
 					if rec, ok := a.reconstructItems(e); ok && len(rec) > 0 {
@@ -519,10 +723,10 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) err
 	}
 	cb := barrier(len(items)+len(hedges), done)
 	for _, op := range items {
-		a.issue(now, op, cb)
+		a.issue(now, op, tok, cb)
 	}
 	for _, h := range hedges {
-		a.issueHedge(now, h, cb)
+		a.issueHedge(now, h, tok, cb)
 	}
 	return nil
 }
@@ -533,7 +737,7 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) err
 // still consume channel time. The direct leg is issued first, so a tie
 // deterministically resolves to it (the engine runs same-instant events in
 // scheduling order).
-func (a *Array) issueHedge(now sim.Time, h hedge, done func(now sim.Time)) {
+func (a *Array) issueHedge(now sim.Time, h hedge, tok *Cancel, done func(now sim.Time)) {
 	settled := false
 	settle := func(reconWon bool) func(t sim.Time) {
 		return func(t sim.Time) {
@@ -554,10 +758,10 @@ func (a *Array) issueHedge(now sim.Time, h hedge, done func(now sim.Time)) {
 			}
 		}
 	}
-	a.issue(now, h.direct, settle(false))
+	a.issue(now, h.direct, tok, settle(false))
 	reconDone := barrier(len(h.recon), settle(true))
 	for _, op := range h.recon {
-		a.issue(now, op, reconDone)
+		a.issue(now, op, tok, reconDone)
 	}
 }
 
@@ -580,8 +784,17 @@ func (a *Array) pickMirrorWithout(now sim.Time, skip, page, pages int) (int, boo
 	return -1, false
 }
 
-// pickMirror returns the next alive mirror for RAID1 read balancing.
-func (a *Array) pickMirror() int {
+// pickMirror returns the next alive mirror for RAID1 read balancing,
+// preferring members the health monitor has not quarantined (with every
+// mirror quarantined, any alive one serves).
+func (a *Array) pickMirror(now sim.Time) int {
+	for i := 0; i < a.lay.Disks; i++ {
+		d := (a.mirrorNext + i) % a.lay.Disks
+		if a.alive(d) && !a.quarantined(now, d) {
+			a.mirrorNext = (d + 1) % a.lay.Disks
+			return d
+		}
+	}
 	for i := 0; i < a.lay.Disks; i++ {
 		d := (a.mirrorNext + i) % a.lay.Disks
 		if a.alive(d) {
@@ -604,8 +817,19 @@ type stripeGroup struct {
 // every phase-1 read has completed — matching the dependency structure of
 // a real RAID controller.
 func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) error {
+	return a.WriteCancelable(now, page, pages, nil, done)
+}
+
+// WriteCancelable is Write with a cancellation token: sub-ops not yet
+// issued when tok fires (the RMW write phase behind its reads) are
+// absorbed the way stale sub-ops are. It returns ErrOverloaded when
+// admission control refuses the request.
+func (a *Array) WriteCancelable(now sim.Time, page, pages int, tok *Cancel, done func(now sim.Time)) error {
 	exts, err := a.lay.SplitExtent(page, pages)
 	if err != nil {
+		return err
+	}
+	if done, err = a.admit(done); err != nil {
 		return err
 	}
 	a.stats.UserWrites++
@@ -614,7 +838,7 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) er
 	case RAID0:
 		cb := barrier(len(exts), done)
 		for _, e := range exts {
-			a.issue(now, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, cb)
+			a.issue(now, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, tok, cb)
 		}
 		return nil
 	case RAID1:
@@ -628,7 +852,7 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) er
 		for _, e := range exts {
 			for d := 0; d < a.lay.Disks; d++ {
 				if a.alive(d) {
-					a.issue(now, SubOp{Disk: d, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, cb)
+					a.issue(now, SubOp{Disk: d, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, tok, cb)
 				}
 			}
 		}
@@ -646,13 +870,13 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) er
 	}
 	cb := barrier(len(groups), done)
 	for _, g := range groups {
-		a.writeStripe(now, g, cb)
+		a.writeStripe(now, g, tok, cb)
 	}
 	return nil
 }
 
 // writeStripe performs the write of one stripe's worth of extents.
-func (a *Array) writeStripe(now sim.Time, g stripeGroup, done func(now sim.Time)) {
+func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(now sim.Time)) {
 	lay := a.lay
 	st := g.stripe
 	base := lay.UnitPage(st)
@@ -715,7 +939,7 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, done func(now sim.Time)
 		}
 		cb := barrier(len(phase2), done)
 		for _, op := range phase2 {
-			a.issue(t, op, cb)
+			a.issue(t, op, tok, cb)
 		}
 	}
 
@@ -790,14 +1014,15 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, done func(now sim.Time)
 	}
 	cb := barrier(len(phase1), runPhase2)
 	for _, op := range phase1 {
-		a.issue(now, op, cb)
+		a.issue(now, op, tok, cb)
 	}
 }
 
 // gcAvoidWanted reports whether a partial-stripe write should use the
 // GC-aware reconstruct-write path. It compares how many phase-1 read pages
-// each strategy would send to currently-collecting disks and switches to
-// reconstruct-write only when that strictly reduces the GC exposure.
+// each strategy would send to currently-busy disks — collecting or
+// health-quarantined — and switches to reconstruct-write only when that
+// strictly reduces the exposure.
 func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
 	if !a.GCAwareWrites {
 		return false
@@ -808,7 +1033,9 @@ func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
 	lay := a.lay
 	st := g.stripe
 	base := lay.UnitPage(st)
-	inGC := func(d int) bool { return a.alive(d) && a.disks[d].InGC(now) }
+	inGC := func(d int) bool {
+		return a.alive(d) && (a.disks[d].InGC(now) || a.quarantined(now, d))
+	}
 
 	lo, hi := lay.UnitPages, 0
 	covered := make(map[int][2]int, len(g.exts))

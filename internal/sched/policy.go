@@ -4,9 +4,10 @@
 // Kim et al.'s Harmonia: when any SSD starts collecting, every SSD in the
 // array is forced to collect at the same time).
 //
-// It also provides the Hub, a fan-out for device GC start/end events:
-// ssd.Device exposes single OnGCStart/OnGCEnd hooks, and both a policy and
-// the GC-Steering redirector need them.
+// It also provides the Hub, a fan-out for device GC start/end events and
+// per-op observations: ssd.Device exposes single OnGCStart/OnGCEnd/OnOp
+// hooks, and a policy, the GC-Steering redirector, and the health monitor
+// all need them.
 package sched
 
 import (
@@ -21,14 +22,16 @@ type Hub struct {
 	devs    []*ssd.Device
 	onStart []func(now sim.Time, d *ssd.Device)
 	onEnd   []func(now sim.Time, d *ssd.Device)
+	onOp    []func(now sim.Time, d *ssd.Device, write bool, pages int, latency, service sim.Time)
 }
 
-// NewHub installs itself on every device's GC hooks.
+// NewHub installs itself on every device's GC and per-op hooks.
 func NewHub(devs []*ssd.Device) *Hub {
 	h := &Hub{devs: devs}
 	for _, d := range devs {
 		d.OnGCStart = h.fanStart
 		d.OnGCEnd = h.fanEnd
+		d.OnOp = h.fanOp
 	}
 	return h
 }
@@ -53,6 +56,20 @@ func (h *Hub) SubscribeStart(fn func(now sim.Time, d *ssd.Device)) {
 // SubscribeEnd registers fn for GC-end events.
 func (h *Hub) SubscribeEnd(fn func(now sim.Time, d *ssd.Device)) {
 	h.onEnd = append(h.onEnd, fn)
+}
+
+func (h *Hub) fanOp(now sim.Time, d *ssd.Device, write bool, pages int, latency, service sim.Time) {
+	for _, fn := range h.onOp {
+		fn(now, d, write, pages, latency, service)
+	}
+}
+
+// SubscribeOp registers fn for per-op observations (every host read and
+// write a device services, with its projected completion latency and its
+// queueing-free service time — see ssd.Device.OnOp). The fan-out is
+// synchronous with the op issue, so subscribers cost no engine events.
+func (h *Hub) SubscribeOp(fn func(now sim.Time, d *ssd.Device, write bool, pages int, latency, service sim.Time)) {
+	h.onOp = append(h.onOp, fn)
 }
 
 // Devices returns the devices the hub watches.

@@ -103,6 +103,7 @@ type Stats struct {
 	UnrecoverableUnits   int64 // bad units beyond the surviving redundancy
 	GCBackoffs           int64 // stripe retries because a member was mid-GC
 	Yields               int64 // stripe deferrals to foreground load
+	PressureSheds        int64 // stripe deferrals to admission-control pressure
 	PagesRead            int64
 	PagesWritten         int64
 	StartedAt            sim.Time
@@ -129,6 +130,12 @@ type Scrubber struct {
 
 	// OnComplete, when non-nil, fires once after the final pass finishes.
 	OnComplete func(now sim.Time)
+
+	// Pressure, when non-nil, reports that admission control is nearly full;
+	// the scrubber defers stripes (by YieldDelay, unbounded) while it holds,
+	// shedding background load before the array rejects user I/O. The
+	// deferral always terminates: pressure clears as the foreground drains.
+	Pressure func() bool
 
 	// Trace, when non-nil, receives scrub lifecycle events (pass start,
 	// per-unit repairs, busy/yield deferrals, pass done).
@@ -233,6 +240,18 @@ func (s *Scrubber) scrubStripe(now sim.Time) {
 	st := s.nextSt
 	base := lay.UnitPage(st)
 	disks := s.arr.Disks()
+
+	// Shed to admission-control pressure first: when the array is close to
+	// rejecting user I/O, background reads are the load to drop.
+	if s.Pressure != nil && s.Pressure() {
+		s.stats.PressureSheds++
+		if s.Trace.Enabled() {
+			s.Trace.Emit(now, obs.Event{Kind: obs.KShed, Dev: -1,
+				Page: int64(base), Aux: 2})
+		}
+		s.eng.At(now+s.cfg.YieldDelay, s.scrubStripe)
+		return
+	}
 
 	// Retry-and-backoff while a member is collecting: scrub reads would
 	// queue behind GC. Bounded — after MaxGCRetries the stripe is scrubbed

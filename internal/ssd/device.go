@@ -148,6 +148,14 @@ type SlowHook interface {
 	SlowAt(now sim.Time) bool
 }
 
+// TransientHook is the optional FaultHook extension for transient read
+// errors: each attempt draws independently, so — unlike the persistent
+// latent errors behind ReadError's URE path — a bounded retry of the same
+// extent succeeds with high probability.
+type TransientHook interface {
+	TransientReadError(now sim.Time, lpn, pages int) bool
+}
+
 // Device is one simulated SSD attached to a simulation engine.
 type Device struct {
 	// ID identifies the device inside an array; used only for reporting.
@@ -166,6 +174,17 @@ type Device struct {
 	// these. OnGCEnd fires via the event queue at the episode's end time.
 	OnGCStart func(now sim.Time, d *Device)
 	OnGCEnd   func(now sim.Time, d *Device)
+
+	// OnOp, when non-nil, observes every host read and write as it is
+	// issued. latency is the op's projected completion latency (channel
+	// queueing included — what the client will experience); service is the
+	// op's own channel time (page access, bus transfer, and any injected
+	// fault delay, queueing excluded) — the unconfounded device-health
+	// signal, since a backlog from bursty load inflates latency on a
+	// perfectly healthy member. The call is synchronous with the issue and
+	// schedules nothing, so an observer such as the health monitor costs no
+	// engine events. GC-internal page moves are not reported.
+	OnOp func(now sim.Time, d *Device, write bool, pages int, latency, service sim.Time)
 
 	// Fault, when non-nil, perturbs the user op path (extra latency) and
 	// decides latent sector errors. GC-internal page moves are not
@@ -290,6 +309,15 @@ func (d *Device) Slow(now sim.Time) bool {
 	return ok && h.SlowAt(now)
 }
 
+// TransientReadError reports whether this read attempt of [lpn, lpn+pages)
+// fails transiently at now. Each call is an independent draw — retrying the
+// same extent may succeed. It implements the RAID engine's TransientFaulty
+// interface; false without a transient-aware fault hook.
+func (d *Device) TransientReadError(now sim.Time, lpn, pages int) bool {
+	h, ok := d.Fault.(TransientHook)
+	return ok && h.TransientReadError(now, lpn, pages)
+}
+
 // Read services a read of pages logical pages starting at lpn. done, if
 // non-nil, fires when the last page is delivered.
 func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) error {
@@ -299,6 +327,7 @@ func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) err
 	d.stats.ReadOps++
 	d.stats.PagesRead += int64(pages)
 	finish := now
+	var service sim.Time
 	for i := 0; i < pages; i++ {
 		ppn := d.ftl.Lookup(lpn + i)
 		var c int
@@ -307,13 +336,18 @@ func (d *Device) Read(now sim.Time, lpn, pages int, done func(now sim.Time)) err
 		} else {
 			c = d.channelFor(lpn + i)
 		}
-		end := d.occupy(now, c, d.cfg.Latency.PageRead+d.cfg.Latency.BusTransfer+d.faultDelay(now, c, false))
+		dur := d.cfg.Latency.PageRead + d.cfg.Latency.BusTransfer + d.faultDelay(now, c, false)
+		service += dur
+		end := d.occupy(now, c, dur)
 		if end > finish {
 			finish = end
 		}
 	}
 	if done != nil {
 		d.eng.At(finish, done)
+	}
+	if d.OnOp != nil {
+		d.OnOp(now, d, false, pages, finish-now, service)
 	}
 	return nil
 }
@@ -329,16 +363,22 @@ func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) er
 	d.stats.WriteOps++
 	d.stats.PagesWritten += int64(pages)
 	finish := now
+	var service sim.Time
 	for i := 0; i < pages; i++ {
 		ppn := d.ftl.Write(lpn + i)
 		c := d.cfg.Geometry.PageChannel(ppn)
-		end := d.occupy(now, c, d.cfg.Latency.PageProgram+d.cfg.Latency.BusTransfer+d.faultDelay(now, c, true))
+		dur := d.cfg.Latency.PageProgram + d.cfg.Latency.BusTransfer + d.faultDelay(now, c, true)
+		service += dur
+		end := d.occupy(now, c, dur)
 		if end > finish {
 			finish = end
 		}
 	}
 	if done != nil {
 		d.eng.At(finish, done)
+	}
+	if d.OnOp != nil {
+		d.OnOp(now, d, true, pages, finish-now, service)
 	}
 	if d.ftl.NeedGC(d.cfg.GCLowWater) {
 		d.startGC(now, d.cfg.GCHighWater, 0, false)

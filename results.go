@@ -53,6 +53,11 @@ type Results struct {
 	// (all zero unless Config.Checksums / Config.HedgedReads enabled them).
 	Integrity IntegrityStats
 
+	// Robust carries the fail-slow tolerance counters: deadlines, retries,
+	// admission control, and health quarantines (all zero unless the
+	// corresponding Config knobs enabled them).
+	Robust RobustStats
+
 	// Scrub carries the patrol scrubber's counters for runs with
 	// Config.ScrubMBps > 0; ScrubEnabled marks that the scrubber ran.
 	Scrub        ScrubStats
@@ -128,6 +133,36 @@ type IntegrityStats struct {
 	// HedgeReconWins how often the reconstruction finished first.
 	HedgedReads    int64
 	HedgeReconWins int64
+}
+
+// RobustStats aggregates the fail-slow tolerance counters of one run: what
+// the deadlines, retries, admission control, and health monitor
+// (Config.DeadlineUs / MaxRetries / QueueLimit / Quarantine) did.
+type RobustStats struct {
+	// DeadlineExceeded counts user requests cancelled at their deadline;
+	// CanceledSubOps the queued sub-ops the array absorbed for them.
+	DeadlineExceeded int64
+	CanceledSubOps   int64
+	// Rejected counts user requests refused by admission control.
+	Rejected int64
+	// TransientErrors counts read attempts that failed transiently; Retries
+	// the re-issues scheduled for them; RetriesExhausted the sub-ops that
+	// gave up after the retry budget.
+	TransientErrors  int64
+	Retries          int64
+	RetriesExhausted int64
+	// Quarantines counts circuit-breaker openings (re-opens included);
+	// Reinstatements closings after a clean probe; Probes half-open probe
+	// reads issued; QuarantineTime the summed open time across devices.
+	Quarantines    int64
+	Reinstatements int64
+	Probes         int64
+	QuarantineTime Time
+	// MigrationsShed and ScrubSheds count background work dropped under
+	// admission-control queue pressure (hot-read migrations and deferred
+	// scrub stripes respectively).
+	MigrationsShed int64
+	ScrubSheds     int64
 }
 
 // FaultStats aggregates the reliability measurements of one fault-injected
@@ -216,6 +251,23 @@ func (s *System) results() *Results {
 		r.RedirectRatio = s.steer.RedirectRatio()
 	}
 	as := s.arr.Stats()
+	r.Robust = RobustStats{
+		DeadlineExceeded: s.deadlineHits,
+		CanceledSubOps:   as.CanceledSubOps,
+		Rejected:         s.rejected,
+		TransientErrors:  as.TransientErrors,
+		Retries:          as.Retries,
+		RetriesExhausted: as.RetriesExhausted,
+		MigrationsShed:   r.Steering.MigrationsShed,
+	}
+	if s.health != nil {
+		s.health.Finish(s.eng.Now()) // charge still-open breakers (idempotent)
+		hs := s.health.Stats()
+		r.Robust.Quarantines = hs.Quarantines
+		r.Robust.Reinstatements = hs.Reinstatements
+		r.Robust.Probes = hs.Probes
+		r.Robust.QuarantineTime = hs.QuarantineTime
+	}
 	r.Integrity = IntegrityStats{
 		ChecksumErrors: as.ChecksumErrors,
 		ChecksumFixed:  as.ChecksumFixed,
@@ -225,6 +277,7 @@ func (s *System) results() *Results {
 	if s.scrubber != nil {
 		r.Scrub = s.scrubber.Stats()
 		r.ScrubEnabled = true
+		r.Robust.ScrubSheds = r.Scrub.PressureSheds
 	}
 	if s.faults != nil {
 		cs := s.faults.Stats()
@@ -279,6 +332,16 @@ func (r *Results) String() string {
 	}
 	if r.Integrity.HedgedReads > 0 {
 		fmt.Fprintf(&b, " hedged=%d wins=%d", r.Integrity.HedgedReads, r.Integrity.HedgeReconWins)
+	}
+	if r.Robust.DeadlineExceeded > 0 || r.Robust.Rejected > 0 {
+		fmt.Fprintf(&b, " deadline=%d rejected=%d", r.Robust.DeadlineExceeded, r.Robust.Rejected)
+	}
+	if r.Robust.TransientErrors > 0 {
+		fmt.Fprintf(&b, " transient=%d retries=%d exhausted=%d",
+			r.Robust.TransientErrors, r.Robust.Retries, r.Robust.RetriesExhausted)
+	}
+	if r.Robust.Quarantines > 0 {
+		fmt.Fprintf(&b, " quarantines=%d reinstated=%d", r.Robust.Quarantines, r.Robust.Reinstatements)
 	}
 	return b.String()
 }

@@ -5,8 +5,11 @@ import (
 	"io"
 	"math/rand"
 
+	"errors"
+
 	"gcsteering/internal/core"
 	"gcsteering/internal/fault"
+	"gcsteering/internal/health"
 	"gcsteering/internal/metrics"
 	"gcsteering/internal/obs"
 	"gcsteering/internal/raid"
@@ -68,22 +71,28 @@ type System struct {
 	steer *core.Steering
 	spare *ssd.Device // dedicated staging and/or rebuild spare
 
-	lat      metrics.Hist
-	readLat  metrics.Hist
-	writeLat metrics.Hist
-	degLat   metrics.Hist // requests submitted while the array was degraded
-	gcLat    metrics.Hist // submitted while >= 1 member collected (not degraded)
-	gcRdLat  metrics.Hist // the read-only subset of gcLat (hedged-read target)
-	quietLat metrics.Hist // submitted with no GC and full redundancy
-	rec      *metrics.Recorder
-	gcGauge  metrics.Gauge // gc_active, sampled once per arrival
-	stGauge  metrics.Gauge // staging_free_write_slots (steering only)
-	trace    *obs.Tracer
-	reqSeq   int64
-	inFlight int
+	lat       metrics.Hist
+	readLat   metrics.Hist
+	writeLat  metrics.Hist
+	degLat    metrics.Hist // requests submitted while the array was degraded
+	gcLat     metrics.Hist // submitted while >= 1 member collected (not degraded)
+	gcRdLat   metrics.Hist // the read-only subset of gcLat (hedged-read target)
+	quietLat  metrics.Hist // submitted with no GC and full redundancy
+	rec       *metrics.Recorder
+	gcGauge   metrics.Gauge // gc_active, sampled once per arrival
+	stGauge   metrics.Gauge // staging_free_write_slots (steering only)
+	quarGauge metrics.Gauge // quarantined_devices (health monitor only)
+	inflGauge metrics.Gauge // inflight, sampled once per arrival
+	trace     *obs.Tracer
+	reqSeq    int64
+	inFlight  int
+
+	deadlineHits int64 // requests cancelled at their deadline
+	rejected     int64 // requests refused by admission control
 
 	faults   *fault.Controller // non-nil for ReplayWithFaults runs
 	scrubber *scrub.Scrubber   // non-nil when Config.ScrubMBps > 0
+	health   *health.Monitor   // non-nil when Config.Quarantine
 	nrepl    int               // replacement SSDs created so far (device IDs)
 
 	// measuring gates response-time recording; ReplayDuringRebuild stops
@@ -109,6 +118,10 @@ func New(cfg Config) (*System, error) {
 	// Registered for every scheme (only steering ever sets it) so multi-run
 	// CSV exports share one column schema regardless of the scheme mix.
 	s.stGauge = s.rec.GaugeHandle("staging_free_write_slots")
+	// Same rationale: always in the schema, driven only when the feature is
+	// enabled.
+	s.quarGauge = s.rec.GaugeHandle("quarantined_devices")
+	s.inflGauge = s.rec.GaugeHandle("inflight")
 	if cfg.WindowQuantiles {
 		// Detailed-series mode also samples engine pressure: queue depth
 		// every 64 fired events, folded into the same window grid.
@@ -183,6 +196,49 @@ func New(cfg Config) (*System, error) {
 		s.hub.SubscribeEnd(func(now sim.Time, d *ssd.Device) { st.OnDeviceGCEnd(now, d.ID) })
 	default:
 		return nil, fmt.Errorf("gcsteering: unknown scheme %v", cfg.Scheme)
+	}
+
+	// Robustness wiring: retries with backoff, admission control, and the
+	// fail-slow health monitor. All of it is inert (and byte-identical to a
+	// run without it) until a fault plan or queue pressure exercises it.
+	arr.MaxRetries = cfg.MaxRetries
+	backoff := sim.Time(cfg.RetryBackoffUs * float64(sim.Microsecond))
+	if cfg.MaxRetries > 0 && backoff == 0 {
+		backoff = 200 * sim.Microsecond
+	}
+	arr.RetryBackoff = backoff
+	arr.QueueLimit = cfg.QueueLimit
+	if cfg.QueueLimit > 0 && s.steer != nil {
+		s.steer.Pressure = arr.UnderPressure
+	}
+	if cfg.Quarantine {
+		mon := health.NewMonitor(s.eng, cfg.Disks, health.Config{})
+		mon.Trace = cfg.Trace
+		mon.Probe = func(now sim.Time, dev int) {
+			// One-page probe read; the op hook below judges it synchronously.
+			// A failed member rejects the read — the probe then observes
+			// nothing and the breaker stays open until the slot is repaired.
+			_ = s.devs[dev].Read(now, 0, 1, nil)
+		}
+		s.hub.SubscribeOp(func(now sim.Time, d *ssd.Device, write bool, pages int, lat, svc sim.Time) {
+			// Health is judged on service time, not completion latency: a
+			// burst backlog inflates queueing on a healthy member, while a
+			// fail-slow fault inflates the op's own channel time.
+			mon.Observe(now, d.ID, pages, svc, d.InGC(now))
+		})
+		mon.OnChange = func(now sim.Time, dev int, open bool) {
+			s.quarGauge.Set(int64(now), float64(mon.OpenCount()))
+			if !open && s.steer != nil {
+				// Reinstatement kicks the reclaim drain, like a GC-end event:
+				// write-backs deferred while the member was quarantined resume.
+				s.steer.OnDeviceGCEnd(now, dev)
+			}
+		}
+		arr.Quarantined = func(now sim.Time, d int) bool { return mon.Quarantined(d) }
+		if s.steer != nil {
+			s.steer.Unhealthy = func(now sim.Time, disk int) bool { return mon.Quarantined(disk) }
+		}
+		s.health = mon
 	}
 	return s, nil
 }
@@ -298,6 +354,9 @@ func (s *System) submit(now sim.Time, r Record) {
 		if s.steer != nil {
 			s.stGauge.Set(int64(now), float64(s.steer.Staging().FreeWriteSlots()))
 		}
+		if s.cfg.QueueLimit > 0 {
+			s.inflGauge.Set(int64(now), float64(s.inFlight))
+		}
 	}
 	seq := s.reqSeq
 	s.reqSeq++
@@ -306,13 +365,12 @@ func (s *System) submit(now sim.Time, r Record) {
 			Page: int64(page), Pages: int32(pages),
 			Aux: boolInt(r.Write), Aux2: seq})
 	}
-	done := func(t sim.Time) {
+	// finish records one settled request; the settled flag arbitrates
+	// between normal completion and the deadline event (whichever fires
+	// first wins, the loser is a no-op).
+	settled := false
+	finish := func(d int64) {
 		s.inFlight--
-		d := int64(t - now)
-		if s.trace.Enabled() {
-			s.trace.Emit(t, obs.Event{Kind: obs.KComplete, Dev: -1, Page: -1,
-				Aux: d, Aux2: seq})
-		}
 		if !record {
 			return
 		}
@@ -335,11 +393,57 @@ func (s *System) submit(now sim.Time, r Record) {
 			s.readLat.Observe(d)
 		}
 	}
+	done := func(t sim.Time) {
+		if settled {
+			return
+		}
+		settled = true
+		d := int64(t - now)
+		if s.trace.Enabled() {
+			s.trace.Emit(t, obs.Event{Kind: obs.KComplete, Dev: -1, Page: -1,
+				Aux: d, Aux2: seq})
+		}
+		finish(d)
+	}
+	var tok *raid.Cancel
+	deadline := sim.Time(s.cfg.DeadlineUs * float64(sim.Microsecond))
+	if deadline > 0 {
+		tok = &raid.Cancel{}
+		s.eng.At(now+deadline, func(t sim.Time) {
+			if settled {
+				return
+			}
+			settled = true
+			tok.Cancel() // queued sub-ops (backed-off retries, RMW phases) absorb
+			s.deadlineHits++
+			if s.trace.Enabled() {
+				s.trace.Emit(t, obs.Event{Kind: obs.KDeadlineExceeded, Dev: -1,
+					Page: int64(page), Pages: int32(pages),
+					Aux: int64(deadline), Aux2: seq})
+			}
+			// The requester gave up at the deadline, so that is the
+			// user-visible response time.
+			finish(int64(deadline))
+		})
+	}
 	var err error
 	if r.Write {
-		err = s.arr.Write(now, page, pages, done)
+		err = s.arr.WriteCancelable(now, page, pages, tok, done)
 	} else {
-		err = s.arr.Read(now, page, pages, done)
+		err = s.arr.ReadCancelable(now, page, pages, tok, done)
+	}
+	if errors.Is(err, raid.ErrOverloaded) {
+		// Admission control shed this request: no sub-ops were issued and
+		// done will never fire. Count it, don't record a response time.
+		settled = true
+		s.inFlight--
+		s.rejected++
+		if s.trace.Enabled() {
+			s.trace.Emit(now, obs.Event{Kind: obs.KReject, Dev: -1,
+				Page: int64(page), Pages: int32(pages),
+				Aux: int64(s.arr.Inflight()), Aux2: seq})
+		}
+		return
 	}
 	if err != nil {
 		// The range was clamped to the array above, so an error here is an
@@ -363,6 +467,9 @@ func (s *System) startScrub() error {
 		return err
 	}
 	sc.Trace = s.trace
+	if s.cfg.QueueLimit > 0 {
+		sc.Pressure = s.arr.UnderPressure
+	}
 	s.scrubber = sc
 	sc.Start(s.eng.Now())
 	return nil
@@ -550,6 +657,11 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 	ctl.Trace = s.trace
 	ctl.SinkFor = s.faultSink
 	ctl.OnFail = func(now sim.Time, disk int) {
+		if s.health != nil {
+			// A dead disk is the array's problem, not the breaker's: clear
+			// any open quarantine so reinstatement probes stop.
+			s.health.Reset(now, disk)
+		}
 		if s.steer == nil {
 			return
 		}
