@@ -160,10 +160,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		doc.Experiments = append(doc.Experiments, out)
 	}
 
-	if tracer != nil {
-		if err := tracer.Flush(); err != nil {
-			return fail("write trace %s: %v", *tracePath, err)
-		}
+	// Flush is nil-safe (the tracer's nil-receiver contract); only the
+	// file handle needs a presence check.
+	if err := tracer.Flush(); err != nil {
+		return fail("write trace %s: %v", *tracePath, err)
+	}
+	if traceFile != nil {
 		if err := traceFile.Close(); err != nil {
 			return fail("close %s: %v", *tracePath, err)
 		}

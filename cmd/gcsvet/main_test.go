@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, ".", &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"nodeterm", "maporder", "nilrecv", "units"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-analyzers", "nosuch"}, ".", &out, &errOut); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+// TestCleanPackage runs the real pipeline end to end over the sim kernel,
+// the determinism root of trust (the full-repo sweep lives in
+// internal/lint's TestRepoIsClean).
+func TestCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./internal/sim"}, "../..", &out, &errOut); code != 0 {
+		t.Fatalf("gcsvet ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}

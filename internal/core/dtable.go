@@ -24,6 +24,15 @@ type PageKey struct {
 	Page int32
 }
 
+// less orders keys by (disk, page), the canonical order for turning a
+// map-order D_Table visit into a deterministic slice.
+func (k PageKey) less(o PageKey) bool {
+	if k.Disk != o.Disk {
+		return k.Disk < o.Disk
+	}
+	return k.Page < o.Page
+}
+
 // StageLoc is the staging-space location of one redirected page. Mirrored
 // (RAID1-style) locations carry a second copy in Dev1/Page1; single-copy
 // locations set Dev1 = -1. Devices are indexed in the staging space's own

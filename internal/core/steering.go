@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"gcsteering/internal/obs"
 	"gcsteering/internal/raid"
@@ -236,6 +237,10 @@ func (s *Steering) DropStagedOn(dev int32) {
 		loc.Dev1 = NoMirror
 		remaps = append(remaps, fix{k, Entry{Loc: loc, Write: true}})
 	})
+	// ForEach visits the D_Table in map order; sort before applying so the
+	// staging pool's free list fills in a run-independent order.
+	sort.Slice(drops, func(i, j int) bool { return drops[i].less(drops[j]) })
+	sort.Slice(remaps, func(i, j int) bool { return remaps[i].key.less(remaps[j].key) })
 	for _, k := range drops {
 		if e, ok := s.dt.Get(k); ok {
 			s.freeSurviving(e.Loc, dev)

@@ -174,6 +174,7 @@ func seedPages(seed, salt int64, dev, pages int, rate float64) map[int]bool {
 	if n <= 0 {
 		return nil
 	}
+	//lint:allow nodeterm defect-placement stream: seeded from the plan seed, salted per device
 	rng := rand.New(rand.NewSource(seed ^ (salt * int64(dev+1))))
 	out := make(map[int]bool, n)
 	for len(out) < n {
@@ -191,11 +192,13 @@ func NewInjector(dev, pages int, p Plan) *Injector {
 	inj := &Injector{
 		dev:        dev,
 		urePerPage: p.UREPerPageRead,
-		rng:        rand.New(rand.NewSource(p.Seed ^ (0x5851F42D4C957F2D * int64(dev+1)))),
-		transient:  p.TransientReadErrorRate,
-		trng:       rand.New(rand.NewSource(p.Seed ^ (0x2545F4914F6CDD1D * int64(dev+1)))),
-		bad:        seedPages(p.Seed, 0x1E3779B97F4A7C15, dev, pages, p.LatentPageRate),
-		corrupt:    seedPages(p.Seed, 0x61C8864680B583EB, dev, pages, p.CorruptPageRate),
+		//lint:allow nodeterm URE stream: plan-seeded, salted per device so device order is irrelevant
+		rng:       rand.New(rand.NewSource(p.Seed ^ (0x5851F42D4C957F2D * int64(dev+1)))),
+		transient: p.TransientReadErrorRate,
+		//lint:allow nodeterm transient-attempt stream: independent of the URE stream by a second salt
+		trng:    rand.New(rand.NewSource(p.Seed ^ (0x2545F4914F6CDD1D * int64(dev+1)))),
+		bad:     seedPages(p.Seed, 0x1E3779B97F4A7C15, dev, pages, p.LatentPageRate),
+		corrupt: seedPages(p.Seed, 0x61C8864680B583EB, dev, pages, p.CorruptPageRate),
 	}
 	for _, s := range p.Slowdowns {
 		if s.Disk == dev {

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Module     *struct{ Path string }
+}
+
+// goList runs `go list -deps -export -json` for the patterns in dir. The
+// -export flag makes the go tool populate each package's compiled export
+// data (via the build cache), which is what lets the type checker resolve
+// imports without loading their source.
+func goList(dir string, patterns ...string) ([]listPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData maps every package reachable from the patterns (including the
+// patterns themselves and the standard library they pull in) to its export
+// data file. The map backs the type checker's importer.
+func ExportData(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// NewImporter returns a types.Importer resolving import paths through the
+// export data files in exports. One importer should be shared across all
+// CheckSource calls of a run so common dependencies are loaded once.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// CheckSource type-checks one package from its parsed files, resolving
+// imports through imp. Type errors are returned, not panicked: a package
+// that does not compile is a caller problem, and gcsvet reports it as such.
+func CheckSource(fset *token.FileSet, path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// ParseDir parses every listed file of a package directory with comments
+// (comments carry the suppression directives, so they are not optional).
+func ParseDir(fset *token.FileSet, dir string, goFiles []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load discovers the packages matching the patterns (go list syntax,
+// e.g. "./..."), parses their non-test sources, and type-checks them
+// against export data. Packages outside the main module (standard library,
+// dependencies) are resolved for typing but not returned for analysis.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset, exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Module == nil || len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseDir(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := CheckSource(fset, p.ImportPath, p.Dir, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// isObsPackage matches the tracer's home package (and its test fixtures,
+// which mirror the path suffix).
+func isObsPackage(path string) bool {
+	return strings.HasSuffix(path, "internal/obs")
+}
+
+// Nilrecv enforces the tracer's zero-cost-when-disabled contract from both
+// sides. Inside internal/obs, every exported *Tracer method must begin by
+// deciding the nil-receiver case (a nil guard, a return built on a nil
+// comparison, or delegation to another receiver method); anywhere else,
+// comparing a *obs.Tracer against nil is flagged, because wrapping call
+// sites in `if tr != nil` re-introduces per-site branching the nil-receiver
+// pattern exists to centralize — and rots the moment tracing grows state.
+func Nilrecv() *Analyzer {
+	a := &Analyzer{
+		Name: "nilrecv",
+		Doc:  "exported *obs.Tracer methods must open with the nil-receiver guard; callers must not nil-check tracers",
+	}
+	a.Run = func(p *Package) []Finding {
+		var out []Finding
+		report := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(n.Pos()),
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		if isObsPackage(p.Path) {
+			checkTracerMethods(p, report)
+			return out
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				var other ast.Expr
+				switch {
+				case isNilIdent(bin.X):
+					other = bin.Y
+				case isNilIdent(bin.Y):
+					other = bin.X
+				default:
+					return true
+				}
+				if t := exprType(p, other); t != nil && isNamedType(t, "internal/obs", "Tracer") {
+					report(bin, "nil-checking a *obs.Tracer defeats the nil-receiver pattern; call its methods directly (or gate on Enabled())")
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// checkTracerMethods verifies the guard discipline on the Tracer's own
+// exported methods.
+func checkTracerMethods(p *Package, report func(ast.Node, string, ...any)) {
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recvType := fn.Recv.List[0].Type
+			star, ok := recvType.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			id, ok := star.X.(*ast.Ident)
+			if !ok || id.Name != "Tracer" {
+				continue
+			}
+			recvName := ""
+			if names := fn.Recv.List[0].Names; len(names) == 1 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				report(fn, "exported *Tracer method %s has no named receiver, so it cannot guard the nil case", fn.Name.Name)
+				continue
+			}
+			if len(fn.Body.List) == 0 || !opensWithNilGuard(fn.Body.List[0], recvName) {
+				report(fn, "exported *Tracer method %s must begin with the nil-receiver guard (if %s == nil { return ... })", fn.Name.Name, recvName)
+			}
+		}
+	}
+}
+
+// opensWithNilGuard accepts the three sanctioned first statements of a
+// nil-safe method: an if whose condition nil-compares the receiver, a
+// return computed from a receiver nil comparison (Enabled's shape), or a
+// direct delegation to another method on the receiver.
+func opensWithNilGuard(first ast.Stmt, recv string) bool {
+	switch s := first.(type) {
+	case *ast.IfStmt:
+		return containsNilCompare(s.Cond, recv)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if containsNilCompare(r, recv) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// containsNilCompare looks for `recv == nil` or `recv != nil` anywhere in
+// the expression (covering `t == nil || t.err != nil` compounds).
+func containsNilCompare(e ast.Expr, recv string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		x, xok := bin.X.(*ast.Ident)
+		y, yok := bin.Y.(*ast.Ident)
+		if xok && x.Name == recv && isNilIdent(bin.Y) {
+			found = true
+		}
+		if yok && y.Name == recv && isNilIdent(bin.X) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isNilIdent matches the predeclared nil.
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// wallClockFuncs are the time-package functions that read or wait on the
+// host's clock. Any of them inside simulation code breaks run-to-run
+// reproducibility, because simulated time must come only from sim.Engine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Sleep": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// allowWallClock reports whether a package may touch the host clock: only
+// the CLI front-ends under cmd/, which print progress for humans and never
+// feed wall time back into a simulation.
+func allowWallClock(path string) bool {
+	return strings.Contains(path, "/cmd/")
+}
+
+// allowConcurrency reports whether a package may start goroutines or use
+// select: the cmd/ front-ends and the experiment harness, whose worker
+// pool runs independent engines in parallel. Inside a single engine,
+// concurrency would make event interleaving scheduler-dependent.
+func allowConcurrency(path string) bool {
+	return strings.Contains(path, "/cmd/") || strings.HasSuffix(path, "internal/harness")
+}
+
+// Nodeterm forbids the nondeterminism escape hatches: wall-clock time,
+// the process-global math/rand source, unseeded RNG construction, select
+// statements, and goroutines outside the sanctioned packages. Sanctioned
+// seeded-RNG construction sites carry a //lint:allow nodeterm directive so
+// every new randomness stream in the tree is a deliberate decision.
+func Nodeterm() *Analyzer {
+	a := &Analyzer{
+		Name: "nodeterm",
+		Doc:  "forbid wall-clock time, global/unseeded randomness, select, and goroutines outside the allowlist",
+	}
+	a.Run = func(p *Package) []Finding {
+		var out []Finding
+		report := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(n.Pos()),
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		for _, file := range p.Files {
+			for _, imp := range file.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "math/rand/v2" {
+					report(imp, "math/rand/v2 has no seedable global-free API surface we vet; use math/rand with rand.NewSource")
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					if !allowConcurrency(p.Path) {
+						report(n, "go statement outside the harness worker pool or cmd/: a goroutine inside a simulation makes event order scheduler-dependent")
+					}
+				case *ast.SelectStmt:
+					if !allowConcurrency(p.Path) {
+						report(n, "select statement outside the harness worker pool or cmd/: channel readiness order is nondeterministic")
+					}
+				case *ast.CallExpr:
+					sel, ok := n.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					switch importedPackage(p, sel.X) {
+					case "time":
+						if wallClockFuncs[sel.Sel.Name] && !allowWallClock(p.Path) {
+							report(n, "time.%s reads the host clock: simulated time must come from sim.Engine", sel.Sel.Name)
+						}
+					case "math/rand":
+						switch sel.Sel.Name {
+						case "New":
+							if isNewSourceCall(p, n) {
+								report(n, "rand.New creates a new randomness stream: derive the seed from Config.Seed and mark the sanctioned site //lint:allow nodeterm <reason>")
+							} else {
+								report(n, "rand.New without an inline rand.NewSource(seed): the stream's seed provenance is invisible here")
+							}
+						case "NewSource", "NewZipf":
+							// NewSource is judged at its enclosing rand.New;
+							// NewZipf consumes an already-seeded *rand.Rand.
+						default:
+							report(n, "rand.%s draws from the process-global source; use a seeded *rand.Rand", sel.Sel.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// isNewSourceCall reports whether call's first argument is itself a
+// rand.NewSource(...) call, i.e. the seed is visible at the call site.
+func isNewSourceCall(p *Package, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	inner, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := inner.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return importedPackage(p, sel.X) == "math/rand" && sel.Sel.Name == "NewSource"
+}

@@ -1,0 +1,31 @@
+// Package caller exercises the caller side of the nil-receiver contract
+// against the real gcsteering/internal/obs tracer.
+package caller
+
+import (
+	"gcsteering/internal/obs"
+	"gcsteering/internal/sim"
+)
+
+func wrapped(tr *obs.Tracer, now sim.Time) {
+	if tr != nil { // want "nil-checking a \*obs.Tracer defeats the nil-receiver pattern"
+		tr.Emit(now, obs.Event{})
+	}
+}
+
+func direct(tr *obs.Tracer, now sim.Time) {
+	tr.Emit(now, obs.Event{})
+}
+
+func gated(tr *obs.Tracer, now sim.Time) {
+	if tr.Enabled() {
+		tr.Emit(now, obs.Event{Aux: expensive()})
+	}
+}
+
+func sanctioned(tr *obs.Tracer) bool {
+	//lint:allow nilrecv fixture: identity comparison sanctioned for this test
+	return tr == nil
+}
+
+func expensive() int64 { return 42 }

@@ -1,0 +1,32 @@
+// Package obs is a fixture mirror of the real tracer package (it is
+// loaded under an internal/obs import path): exported *Tracer methods
+// must open with the nil-receiver guard.
+package obs
+
+// Tracer is the fixture stand-in for the real tracer.
+type Tracer struct {
+	events int64
+	err    error
+}
+
+// Guarded opens with the canonical nil guard.
+func (t *Tracer) Guarded() {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.events++
+}
+
+// Enabled's single-return shape counts as deciding the nil case.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Delegating immediately hands off to another nil-safe receiver method.
+func (t *Tracer) Delegating() { t.Guarded() }
+
+// Unguarded touches state before considering nil: reported.
+func (t *Tracer) Unguarded() { // want "exported .Tracer method Unguarded must begin with the nil-receiver guard"
+	t.events++
+}
+
+// internal helpers are exempt: only the exported API is the contract.
+func (t *Tracer) bump() { t.events++ }

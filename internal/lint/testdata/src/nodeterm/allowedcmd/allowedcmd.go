@@ -1,0 +1,15 @@
+// Package allowedcmd is loaded under a cmd/ import path, where wall-clock
+// reads, goroutines, and select are all sanctioned (CLI front-ends print
+// progress for humans and never feed wall time into a simulation).
+package allowedcmd
+
+import "time"
+
+func progress(done chan struct{}) time.Time {
+	go func() { close(done) }()
+	select {
+	case <-done:
+	default:
+	}
+	return time.Now()
+}

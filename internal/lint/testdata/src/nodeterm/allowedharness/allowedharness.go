@@ -1,0 +1,16 @@
+// Package allowedharness is loaded under the internal/harness import path:
+// its worker pool may start goroutines, but wall-clock time stays banned.
+package allowedharness
+
+import "time"
+
+func pool(jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+func clock() time.Time {
+	return time.Now() // want "time.Now reads the host clock"
+}

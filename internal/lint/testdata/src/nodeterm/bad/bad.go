@@ -1,0 +1,39 @@
+// Package bad plants one violation of every nodeterm rule; the fixture
+// harness checks each is reported at its `want` line.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want "time.Now reads the host clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the host clock"
+	return time.Since(start)     // want "time.Since reads the host clock"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "rand.Intn draws from the process-global source"
+}
+
+func seededRand() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want "rand.New creates a new randomness stream"
+}
+
+func opaqueRand(src rand.Source) *rand.Rand {
+	return rand.New(src) // want "rand.New without an inline rand.NewSource"
+}
+
+func sanctionedRand() *rand.Rand {
+	//lint:allow nodeterm fixture: sanctioned seeding site
+	return rand.New(rand.NewSource(2))
+}
+
+func concurrency(ch chan int) {
+	go func() { ch <- 1 }() // want "go statement outside the harness worker pool"
+	select {                // want "select statement outside the harness worker pool"
+	case <-ch:
+	default:
+	}
+}

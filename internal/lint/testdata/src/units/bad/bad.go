@@ -1,0 +1,47 @@
+// Package bad exercises the units analyzer: identifiers with different
+// measurement suffixes must not meet across additive or comparison
+// operators, assignments, call arguments, or composite-literal fields.
+package bad
+
+type config struct {
+	DeadlineUs float64
+}
+
+func add(latUs, spanPages float64) float64 {
+	return latUs + spanPages // want "mixes latUs .Us. with spanPages .Pages."
+}
+
+func compare(waitUs, rateMBps float64) bool {
+	return waitUs < rateMBps // want "mixes waitUs .Us. with rateMBps .MBps."
+}
+
+func assign(totalBytes float64) float64 {
+	var budgetUs float64
+	budgetUs = totalBytes // want "assigns totalBytes .Bytes. to budgetUs .Us."
+	return budgetUs
+}
+
+func takePages(pages int) int { return pages }
+
+func callArg(lenBytes int) int {
+	return takePages(lenBytes) // want "passes lenBytes .Bytes. for parameter pages .Pages."
+}
+
+func literal(totBytes float64) config {
+	return config{
+		DeadlineUs: totBytes, // want "initializes DeadlineUs .Us. from totBytes .Bytes."
+	}
+}
+
+func conversionsAreFine(sizePages, pageBytes int) int {
+	return sizePages * pageBytes // multiplicative conversion: sanctioned
+}
+
+func sameUnitIsFine(aUs, bUs float64) float64 {
+	return aUs + bUs
+}
+
+func sanctioned(spanUs, spanPages float64) float64 {
+	//lint:allow units fixture: dimensionless comparison sanctioned for this test
+	return spanUs + spanPages
+}

@@ -1,0 +1,6 @@
+// Package directive plants a malformed suppression comment, which the
+// suite reports instead of silently ignoring.
+package directive
+
+//lint:allow // want "malformed directive: want //lint:allow <analyzer> <reason>"
+func noop() {}

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deref strips one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// isNamedType reports whether t (possibly behind a pointer) is the named
+// type `name` defined in a package whose import path is pathSuffix or ends
+// with "/"+pathSuffix. Matching by path string keeps the check stable
+// across independently type-checked packages, where the same declaration
+// loaded from export data and from source are distinct objects.
+func isNamedType(t types.Type, pathSuffix, name string) bool {
+	n, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == pathSuffix || strings.HasSuffix(p, "/"+pathSuffix)
+}
+
+// importedPackage resolves a selector base like `rand` in `rand.Intn` to
+// the import path of the package it names, or "" when the expression is
+// not a package qualifier.
+func importedPackage(p *Package, e ast.Expr) string {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// exprType returns the static type of e, or nil when unknown.
+func exprType(p *Package, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// methodCallOn matches a call of the form recv.Sel(...) where recv's type
+// (possibly a pointer) is the named type in the given package-path suffix,
+// and returns the method name.
+func methodCallOn(p *Package, call *ast.CallExpr, pathSuffix, typeName string) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	t := exprType(p, sel.X)
+	if t == nil || !isNamedType(t, pathSuffix, typeName) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// unitSuffixes are the measurement suffixes the codebase's naming
+// convention attaches to identifiers: microseconds, bandwidth, page
+// counts, byte counts. Checked case-sensitively so e.g. "status" or
+// "bonus" never reads as a Us quantity.
+var unitSuffixes = []string{"MBps", "Pages", "Bytes", "Us"}
+
+// unitOf returns the unit suffix an identifier name carries, or "".
+// Bare lowercase parameter names like `pages` or `bytes` count too.
+func unitOf(name string) string {
+	for _, s := range unitSuffixes {
+		if strings.HasSuffix(name, s) {
+			return s
+		}
+		if name == strings.ToLower(s) {
+			return s
+		}
+	}
+	return ""
+}
+
+// mixableOps are the binary operators across which two differently-
+// suffixed quantities are always a bug. Multiplication and division are
+// deliberately exempt: they are how legitimate unit conversions are
+// written (pages * pageSizeBytes, bytes / periodUs).
+var mixableOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+// Units forbids mixing identifiers of different unit suffixes in additive
+// and comparison operators, in assignments, in call arguments against the
+// callee's parameter names, and in composite-literal fields.
+func Units() *Analyzer {
+	a := &Analyzer{
+		Name: "units",
+		Doc:  "identifiers suffixed Us/MBps/Pages/Bytes must not mix across suffixes",
+	}
+	a.Run = func(p *Package) []Finding {
+		var out []Finding
+		report := func(n ast.Node, format string, args ...any) {
+			out = append(out, Finding{
+				Pos:      p.Fset.Position(n.Pos()),
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if !mixableOps[n.Op] {
+						return true
+					}
+					ux, uy := unitOf(exprIdentName(n.X)), unitOf(exprIdentName(n.Y))
+					if ux != "" && uy != "" && ux != uy {
+						report(n, "mixes %s (%s) with %s (%s) across %q", exprIdentName(n.X), ux, exprIdentName(n.Y), uy, n.Op.String())
+					}
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i := range n.Lhs {
+						ul, ur := unitOf(exprIdentName(n.Lhs[i])), unitOf(exprIdentName(n.Rhs[i]))
+						if ul != "" && ur != "" && ul != ur {
+							report(n, "assigns %s (%s) to %s (%s)", exprIdentName(n.Rhs[i]), ur, exprIdentName(n.Lhs[i]), ul)
+						}
+					}
+				case *ast.KeyValueExpr:
+					uk, uv := unitOf(exprIdentName(n.Key)), unitOf(exprIdentName(n.Value))
+					if uk != "" && uv != "" && uk != uv {
+						report(n, "initializes %s (%s) from %s (%s)", exprIdentName(n.Key), uk, exprIdentName(n.Value), uv)
+					}
+				case *ast.CallExpr:
+					checkCallUnits(p, n, report)
+				}
+				return true
+			})
+		}
+		return out
+	}
+	return a
+}
+
+// checkCallUnits compares each argument's unit suffix against the name of
+// the parameter it binds to. Variadic tails bind to the final parameter.
+func checkCallUnits(p *Package, call *ast.CallExpr, report func(ast.Node, string, ...any)) {
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	if np == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		pi := i
+		if pi >= np {
+			if !sig.Variadic() {
+				return
+			}
+			pi = np - 1
+		}
+		pu := unitOf(sig.Params().At(pi).Name())
+		au := unitOf(exprIdentName(arg))
+		if pu != "" && au != "" && pu != au {
+			report(arg, "passes %s (%s) for parameter %s (%s)", exprIdentName(arg), au, sig.Params().At(pi).Name(), pu)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"gcsteering/internal/sim"
+)
+
+// jsonSanitize mirrors encoding/json's invalid-UTF-8 handling: each bad
+// byte becomes its own replacement rune.
+func jsonSanitize(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b.WriteRune(utf8.RuneError)
+		} else {
+			b.WriteString(s[i : i+size])
+		}
+		i += size
+	}
+	return b.String()
+}
+
+// tracedLine mirrors the documented wire format for decoding.
+type tracedLine struct {
+	T     int64  `json:"t"`
+	Ev    string `json:"ev"`
+	Dev   int32  `json:"dev"`
+	Page  int64  `json:"page"`
+	Pages int32  `json:"pages"`
+	Aux   int64  `json:"aux"`
+	Aux2  int64  `json:"aux2"`
+	Note  string `json:"note"`
+}
+
+// FuzzObsJSONL drives arbitrary field values — most importantly arbitrary
+// note strings, including control bytes and invalid UTF-8 — through the
+// hand-rolled encoder and asserts every emitted line is valid JSON that
+// round-trips the event.
+func FuzzObsJSONL(f *testing.F) {
+	f.Add(int64(0), int32(-1), int64(-1), int32(0), int64(0), int64(0), "run=GGC seed=42")
+	f.Add(int64(123456789), int32(3), int64(1<<40), int32(64), int64(-7), int64(9), "quote\" backslash\\ newline\n")
+	f.Add(int64(-1), int32(0), int64(0), int32(-2), int64(1)<<62, int64(-1)<<62, "nul\x00 ctl\x1f high\x80\xfe µs ✓")
+	f.Fuzz(func(t *testing.T, now int64, dev int32, page int64, pages int32, aux, aux2 int64, note string) {
+		var buf bytes.Buffer
+		tr := New(&buf)
+		tr.RunStart(sim.Time(now), note)
+		tr.Emit(sim.Time(now), Event{Kind: KGCStart, Dev: dev, Page: page, Pages: pages, Aux: aux, Aux2: aux2, Note: note})
+		tr.Emit(sim.Time(now), Event{Kind: Kind(250), Dev: dev, Note: note}) // out-of-range kind prints as "unknown"
+		if err := tr.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+		if len(lines) != 3 || tr.Events() != 3 {
+			t.Fatalf("got %d lines, %d events; want 3, 3", len(lines), tr.Events())
+		}
+		// encoding/json substitutes U+FFFD for every invalid byte (unlike
+		// strings.ToValidUTF8, which collapses runs); the tracer must agree
+		// so notes stay parseable and comparable.
+		wantNote := jsonSanitize(note)
+		for i, line := range lines {
+			var got tracedLine
+			if err := json.Unmarshal([]byte(line), &got); err != nil {
+				t.Fatalf("line %d is not valid JSON: %v\n%q", i, err, line)
+			}
+			if got.T != now {
+				t.Errorf("line %d: t = %d, want %d", i, got.T, now)
+			}
+			if note != "" && got.Note != wantNote {
+				t.Errorf("line %d: note = %q, want %q", i, got.Note, wantNote)
+			}
+		}
+		var ev tracedLine
+		if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Ev != KGCStart.String() || ev.Dev != dev || ev.Page != page || ev.Pages != pages || ev.Aux != aux || ev.Aux2 != aux2 {
+			t.Errorf("event line did not round-trip: %+v", ev)
+		}
+	})
+}

@@ -30,6 +30,7 @@ import (
 	"bufio"
 	"io"
 	"strconv"
+	"unicode/utf8"
 
 	"gcsteering/internal/sim"
 )
@@ -282,7 +283,7 @@ func (t *Tracer) Emit(now sim.Time, e Event) {
 	b = strconv.AppendInt(b, e.Aux2, 10)
 	if e.Note != "" {
 		b = append(b, `,"note":`...)
-		b = strconv.AppendQuote(b, e.Note)
+		b = appendJSONString(b, e.Note)
 	}
 	b = append(b, '}', '\n')
 	t.buf = b
@@ -291,6 +292,50 @@ func (t *Tracer) Emit(now sim.Time, e Event) {
 		return
 	}
 	t.events++
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a double-quoted JSON string. It exists
+// because strconv.AppendQuote writes Go syntax (`\x00`, `\U0001f600`),
+// which is not legal JSON: control bytes become \u00XX escapes and invalid
+// UTF-8 sequences the Unicode replacement rune, exactly as encoding/json
+// does, while the printable ASCII fast path stays a plain append.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c >= 0x20 && c < utf8.RuneSelf {
+			if c == '"' || c == '\\' {
+				b = append(b, '\\')
+			}
+			b = append(b, c)
+			i++
+			continue
+		}
+		if c < 0x20 {
+			switch c {
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			b = utf8.AppendRune(b, utf8.RuneError)
+		} else {
+			b = append(b, s[i:i+size]...)
+		}
+		i += size
+	}
+	return append(b, '"')
 }
 
 // RunStart emits a run separator with the given label.

@@ -77,8 +77,9 @@ func NewGenerator(p Profile, opt Options) (*Generator, error) {
 		total = opt.MaxRequests
 	}
 	g := &Generator{
-		p:       p,
-		opt:     opt,
+		p:   p,
+		opt: opt,
+		//lint:allow nodeterm workload stream: seeded from Options.Seed, the generator's one entropy input
 		rng:     rand.New(rand.NewSource(opt.Seed)),
 		sectors: opt.Capacity / sector,
 		total:   total,

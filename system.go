@@ -137,6 +137,7 @@ func New(cfg Config) (*System, error) {
 		ForcedGCVictims: cfg.ForcedGCVictims,
 		GCOverhead:      sim.Time(cfg.GCOverheadMs * float64(sim.Millisecond)),
 	}
+	//lint:allow nodeterm root stream: every per-device seed below derives from Config.Seed through it
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.Disks; i++ {
 		d, err := ssd.New(i, s.eng, devCfg)
@@ -147,6 +148,7 @@ func New(cfg Config) (*System, error) {
 			d.SetColdBoundary(cfg.diskPages()) // reserved region on a separate stream
 		}
 		d.Trace = cfg.Trace
+		//lint:allow nodeterm per-device prefill stream seeded from the root stream, stable in loop order
 		d.Prefill(rand.New(rand.NewSource(rng.Int63())), cfg.PrefillOverwrite, cfg.diskPages())
 		s.devs = append(s.devs, d)
 		s.disks = append(s.disks, d)
@@ -300,6 +302,7 @@ func (s *System) ensureSpare(seed int64) (*ssd.Device, error) {
 	// staging space or a rebuild target.
 	spare.SetColdBoundary(0)
 	spare.Trace = s.trace
+	//lint:allow nodeterm spare prefill stream: seed is threaded in from the Config.Seed-derived root stream
 	spare.Prefill(rand.New(rand.NewSource(seed)), 0, 0)
 	s.spare = spare
 	return spare, nil
