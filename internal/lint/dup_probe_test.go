@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestDupProbe(t *testing.T) {
+	src := `package x
+func f() {
+	m := map[string]int{}
+	var s []string
+	g := func() {
+		for k := range m {
+			s = append(s, k)
+		}
+	}
+	g()
+	sortStrings(s)
+}
+func sortStrings(s []string) {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "probe.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := CheckSource(fset, "probe", ".", []*ast.File{file}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Maporder().Run(pkg)
+	for _, f := range findings {
+		t.Logf("finding: %s", f)
+	}
+	t.Logf("total findings: %d", len(findings))
+}
