@@ -11,8 +11,10 @@
 // reliability grid under injected failures), scrub (the self-healing grid:
 // patrol scrub and GC-hedged reads under seeded latent errors), failslow
 // (the fail-slow tolerance grid: health quarantine and hedged reads under
-// a sustained member slowdown with transient read errors), all. Run with
-// -list-experiments to print the registry.
+// a sustained member slowdown with transient read errors), cluster (the
+// fleet grid: many arrays and tenants behind consistent-hash placement,
+// hash-only vs GC/rebuild-aware routing), all. Run with -list-experiments
+// to print the registry.
 //
 // -json <path> additionally writes the machine-readable results of the run
 // (every grid's full metric tables) to the given file.
@@ -31,6 +33,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"gcsteering"
@@ -45,8 +48,13 @@ type experimentOut struct {
 	Grid *harness.Grid `json:"grid,omitempty"`
 }
 
+// jsonSchemaVersion is bumped whenever the shape of jsonDoc changes, so
+// downstream consumers can gate their parsers on it.
+const jsonSchemaVersion = 1
+
 // jsonDoc is the top-level -json document.
 type jsonDoc struct {
+	Schema      int             `json:"schema"`
 	Requests    int             `json:"requests"`
 	Seed        int64           `json:"seed"`
 	Repeats     int             `json:"repeats"`
@@ -56,7 +64,7 @@ type jsonDoc struct {
 // allExperiments is the -experiment all sequence.
 var allExperiments = []string{"table1", "fig1", "fig2", "fig7a", "fig8",
 	"fig9", "fig10", "fig11", "raid6", "endurance", "faults", "scrub",
-	"failslow"}
+	"failslow", "cluster"}
 
 // experimentBlurbs describes each entry of allExperiments for
 // -list-experiments (aliases like fig7b resolve to the same runs and are
@@ -75,6 +83,7 @@ var experimentBlurbs = map[string]string{
 	"faults":    "reliability grid: failures, rebuilds, window of vulnerability",
 	"scrub":     "self-healing grid: patrol scrub and hedged reads vs seeded defects",
 	"failslow":  "fail-slow grid: health quarantine, retries, hedged reads vs a slow member",
+	"cluster":   "fleet grid: 8 arrays × 16 tenants, hash-only vs GC/rebuild-aware routing",
 }
 
 func main() {
@@ -88,7 +97,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gcsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|all")
+		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|cluster|all")
 		listExps   = fs.Bool("list-experiments", false, "print the experiment registry and exit")
 		requests   = fs.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
 		workers    = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
@@ -106,7 +115,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *listExps {
-		for _, n := range allExperiments {
+		// Sorted, so the listing is stable as the registry grows (the run
+		// order of -experiment all stays curated separately).
+		sorted := append([]string(nil), allExperiments...)
+		sort.Strings(sorted)
+		for _, n := range sorted {
 			fmt.Fprintf(stdout, "%-10s %s\n", n, experimentBlurbs[n])
 		}
 		fmt.Fprintf(stdout, "%-10s %s\n", "all", "run every experiment above in sequence")
@@ -127,7 +140,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	o := harness.Options{MaxRequests: *requests, Workers: *workers, Seed: *seed, Repeats: *repeats}
-	doc := jsonDoc{Requests: *requests, Seed: *seed, Repeats: *repeats}
+	doc := jsonDoc{Schema: jsonSchemaVersion, Requests: *requests, Seed: *seed, Repeats: *repeats}
 
 	var traceFile *os.File
 	var tracer *gcsteering.Tracer
@@ -196,7 +209,7 @@ func knownExperiment(name string) bool {
 	switch name {
 	case "fig1", "endurance", "table1", "fig2", "fig7a", "fig7b", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "raid6", "faults", "scrub",
-		"failslow":
+		"failslow", "cluster":
 		return true
 	}
 	return false
@@ -259,6 +272,9 @@ func runOne(name string, o harness.Options, stdout io.Writer) (experimentOut, er
 	case "failslow":
 		g, e := harness.FailSlow(o)
 		err = grid(g, e, "none")
+	case "cluster":
+		g, e := harness.Cluster(o)
+		err = grid(g, e, "hash-only")
 	default:
 		err = fmt.Errorf("unknown experiment %q", name)
 	}

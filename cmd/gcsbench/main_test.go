@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -41,6 +44,61 @@ func TestListExperimentsPrintsRegistry(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "all") {
 		t.Fatalf("registry %q missing the all pseudo-experiment", out.String())
+	}
+}
+
+func TestListExperimentsSorted(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list-experiments"}, &out, &errb); code != 0 {
+		t.Fatalf("-list-experiments exited %d: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	// Every line except the trailing "all" summary must be in sorted order.
+	var names []string
+	for _, l := range lines[:len(lines)-1] {
+		names = append(names, strings.Fields(l)[0])
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("registry not sorted: %v", names)
+	}
+	if len(names) != len(allExperiments) {
+		t.Fatalf("registry lists %d experiments, have %d", len(names), len(allExperiments))
+	}
+}
+
+func TestJSONDocCarriesSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "table1", "-requests", "300", "-json", path}, &out, &errb); code != 0 {
+		t.Fatalf("exited %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema int `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != jsonSchemaVersion {
+		t.Fatalf("schema = %d, want %d", doc.Schema, jsonSchemaVersion)
+	}
+}
+
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet grid")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-experiment", "cluster", "-requests", "800"}, &out, &errb); code != 0 {
+		t.Fatalf("cluster exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"Fleet simulation", "hash-only", "gc-aware", "redirects"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("cluster output missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

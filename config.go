@@ -176,6 +176,15 @@ type Config struct {
 	// and then rejects arrivals outright (Results.Robust.Rejected). <= 0
 	// disables admission control.
 	QueueLimit int
+	// RecordBusy makes the system log every background-occupancy window —
+	// per-device GC episodes, open health breakers, and active rebuilds —
+	// as Results.Busy intervals. The cluster routing tier consumes these as
+	// its steering signal (route reads away from arrays that report busy
+	// windows). Recording appends to an in-memory slice from hooks that are
+	// already wired; it schedules no engine events, so an identically
+	// seeded run is unchanged by enabling it.
+	RecordBusy bool
+
 	// Quarantine enables the per-device health monitor: a circuit breaker
 	// per member that opens on sustained fail-slow behaviour (EWMA op
 	// latency far above the peers'), steers traffic away exactly like a GC
@@ -395,6 +404,19 @@ func (c Config) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// Capacity returns the array's host-visible logical capacity in bytes
+// without building the system (System.Capacity reports the same value).
+// The cluster layer sizes tenant volumes from it before any shard exists.
+func (c Config) Capacity() int64 {
+	lay := raid.Layout{
+		Level:     c.Level,
+		Disks:     c.Disks,
+		UnitPages: c.unitPages(),
+		DiskPages: c.diskPages(),
+	}
+	return int64(lay.LogicalPages()) * int64(c.Flash.PageSize)
 }
 
 // unitPages is the stripe unit in pages.

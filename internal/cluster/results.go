@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"gcsteering"
+	"gcsteering/internal/metrics"
+)
+
+// TenantResults is one tenant's aggregated view of the run.
+type TenantResults struct {
+	Name string
+	QoS  QoS
+	// Requests counts admitted requests; Shed the admission-budget drops;
+	// Rejected the shard-level queue-limit rejections; Redirects the reads
+	// diverted to the replica copy.
+	Requests  int64
+	Shed      int64
+	Rejected  int64
+	Redirects int64
+	// Latency summarizes the tenant's settled response times (ns);
+	// ReadLatency the read subset — the side cluster steering acts on
+	// (writes always go to the primary copy).
+	Latency     gcsteering.LatencySummary
+	ReadLatency gcsteering.LatencySummary
+}
+
+// ArrayResults is one array's aggregated view of the run.
+type ArrayResults struct {
+	// Requests counts requests routed to this array; Received the reads
+	// that landed here by redirection; Diverted the reads steered away
+	// from this array to their replica.
+	Requests int64
+	Received int64
+	Diverted int64
+	// GCEpisodes and BusyWindows describe why the router avoided the
+	// array; WOV is its window-of-vulnerability time (fault runs).
+	GCEpisodes  int64
+	BusyWindows int
+	WOV         gcsteering.Time
+	// Latency summarizes the array's response times (ns).
+	Latency gcsteering.LatencySummary
+}
+
+// ClusterResults aggregates one fleet run.
+type ClusterResults struct {
+	Arrays int
+	Policy Policy
+	// Requests counts admitted requests; Shed/Rejected/Redirects the
+	// cluster-wide totals of the per-tenant counters.
+	Requests  int64
+	Shed      int64
+	Rejected  int64
+	Redirects int64
+	// WOV sums window-of-vulnerability time across arrays.
+	WOV gcsteering.Time
+	// Latency and ReadLatency summarize all settled requests fleet-wide.
+	Latency     gcsteering.LatencySummary
+	ReadLatency gcsteering.LatencySummary
+	// Tenants and PerArray are indexed by tenant / array order.
+	Tenants  []TenantResults
+	PerArray []ArrayResults
+}
+
+// WorstTenantP99 returns the highest per-tenant P99 (ns) — the fleet's
+// fairness headline: steering should pull the unluckiest tenant in, not
+// just the mean.
+func (r *ClusterResults) WorstTenantP99() int64 {
+	var worst int64
+	for _, t := range r.Tenants {
+		if t.Latency.P99 > worst {
+			worst = t.Latency.P99
+		}
+	}
+	return worst
+}
+
+// WorstTenantReadP99 is the read-side analogue of WorstTenantP99 — the
+// metric routing can actually move, since writes never divert.
+func (r *ClusterResults) WorstTenantReadP99() int64 {
+	var worst int64
+	for _, t := range r.Tenants {
+		if t.ReadLatency.P99 > worst {
+			worst = t.ReadLatency.P99
+		}
+	}
+	return worst
+}
+
+// String renders the deterministic report (slices in index order; no map
+// iteration).
+func (r *ClusterResults) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d arrays, policy=%s\n", r.Arrays, r.Policy)
+	fmt.Fprintf(&b, "  requests=%d shed=%d rejected=%d redirects=%d wov=%.1fms\n",
+		r.Requests, r.Shed, r.Rejected, r.Redirects, float64(r.WOV)/1e6)
+	fmt.Fprintf(&b, "  latency: %v\n", r.Latency)
+	fmt.Fprintf(&b, "  reads:   %v\n", r.ReadLatency)
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "  tenant %-12s %-6s req=%-6d shed=%-5d rej=%-4d redir=%-5d p50=%.1fµs p99=%.1fµs\n",
+			t.Name, t.QoS, t.Requests, t.Shed, t.Rejected, t.Redirects,
+			float64(t.Latency.P50)/1e3, float64(t.Latency.P99)/1e3)
+	}
+	for a, ar := range r.PerArray {
+		fmt.Fprintf(&b, "  array %-2d req=%-6d recv=%-5d divert=%-5d gc=%-4d busy=%-4d p50=%.1fµs p99=%.1fµs\n",
+			a, ar.Requests, ar.Received, ar.Diverted, ar.GCEpisodes, ar.BusyWindows,
+			float64(ar.Latency.P50)/1e3, float64(ar.Latency.P99)/1e3)
+	}
+	return b.String()
+}
+
+// aggregate merges the per-shard measurements — strictly in tenant and
+// array index order — into the ClusterResults.
+func (c Config) aggregate(requests int64, shed, diverted []int64, metas [][]reqMeta, results []*gcsteering.Results, stats []*shardStats) *ClusterResults {
+	out := &ClusterResults{
+		Arrays:   c.Arrays,
+		Policy:   c.Policy,
+		Requests: requests,
+		Tenants:  make([]TenantResults, len(c.Tenants)),
+		PerArray: make([]ArrayResults, c.Arrays),
+	}
+	for ti, t := range c.Tenants {
+		out.Tenants[ti].Name = t.Name
+		out.Tenants[ti].QoS = t.QoS
+		out.Tenants[ti].Shed = shed[ti]
+		out.Shed += shed[ti]
+	}
+	// Routing-side counters come from the metas (deterministic order).
+	for a, meta := range metas {
+		out.PerArray[a].Requests = int64(len(meta))
+		for _, m := range meta {
+			out.Tenants[m.tenant].Requests++
+			if m.redirect {
+				out.Tenants[m.tenant].Redirects++
+				out.PerArray[a].Received++
+				out.Redirects++
+			}
+		}
+	}
+	// Measurement-side: merge per-shard hists and counters in array order.
+	var lat, readLat metrics.Hist
+	tenantLat := make([]metrics.Hist, len(c.Tenants))
+	tenantRead := make([]metrics.Hist, len(c.Tenants))
+	for a := 0; a < c.Arrays; a++ {
+		if st := stats[a]; st != nil {
+			lat.Merge(&st.lat)
+			readLat.Merge(&st.readLat)
+			out.PerArray[a].Latency = st.lat.Summarize()
+			for ti := range c.Tenants {
+				tenantLat[ti].Merge(&st.tenantLat[ti])
+				tenantRead[ti].Merge(&st.tenantRead[ti])
+				out.Tenants[ti].Rejected += st.tenantRej[ti]
+				out.Rejected += st.tenantRej[ti]
+			}
+		}
+		if r := results[a]; r != nil {
+			out.PerArray[a].GCEpisodes = r.GCEpisodes
+			out.PerArray[a].BusyWindows = len(r.Busy)
+			out.PerArray[a].WOV = r.Fault.WindowOfVulnerability
+			out.WOV += r.Fault.WindowOfVulnerability
+		}
+	}
+	out.Latency = lat.Summarize()
+	out.ReadLatency = readLat.Summarize()
+	for ti := range c.Tenants {
+		out.Tenants[ti].Latency = tenantLat[ti].Summarize()
+		out.Tenants[ti].ReadLatency = tenantRead[ti].Summarize()
+	}
+	for a, d := range diverted {
+		out.PerArray[a].Diverted = d
+	}
+	return out
+}

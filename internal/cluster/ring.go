@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FNV-1a 64-bit constants. The hash is implemented inline rather than via
+// hash/fnv so a ring lookup allocates nothing and the function stays usable
+// from per-request paths.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// fnv64 hashes s with FNV-1a and finishes with a murmur3-style avalanche.
+// Raw FNV-1a clusters badly on short, similar strings ("array-0#1" vs
+// "array-0#2" differ in a handful of high bits), which would collapse the
+// ring's virtual nodes into one arc; the finalizer spreads them uniformly.
+func fnv64(s string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// ringPoint is one virtual node on the hash ring.
+type ringPoint struct {
+	hash  uint64
+	array int
+}
+
+// ring places volume keys onto arrays by consistent hashing: each array
+// contributes vnodes virtual points, a key lands on the first point at or
+// clockwise of its hash, and its replica is the next *distinct* array
+// further clockwise. Virtual nodes smooth the load split; consistent
+// hashing (rather than key mod N) keeps most placements stable when the
+// fleet grows, which is what makes a directory override tier workable.
+type ring struct {
+	points []ringPoint
+}
+
+// newRing builds the ring for `arrays` arrays with `vnodes` virtual nodes
+// each. Construction is deterministic: point hashes depend only on the
+// array index and vnode index.
+func newRing(arrays, vnodes int) *ring {
+	pts := make([]ringPoint, 0, arrays*vnodes)
+	for a := 0; a < arrays; a++ {
+		for v := 0; v < vnodes; v++ {
+			pts = append(pts, ringPoint{fnv64(fmt.Sprintf("array-%d#%d", a, v)), a})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		return pts[i].array < pts[j].array
+	})
+	return &ring{points: pts}
+}
+
+// lookup returns the primary and replica array for a volume key. In a
+// one-array ring replica equals primary (no distinct array exists).
+func (r *ring) lookup(key string) (primary, replica int) {
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	primary = r.points[i].array
+	replica = primary
+	for k := 1; k <= len(r.points); k++ {
+		if p := r.points[(i+k)%len(r.points)]; p.array != primary {
+			replica = p.array
+			break
+		}
+	}
+	return primary, replica
+}

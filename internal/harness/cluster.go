@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"fmt"
+
+	"gcsteering"
+	"gcsteering/internal/cluster"
+)
+
+// clusterArrays/clusterTenants size the fleet grid: large enough that
+// consistent hashing produces genuinely uneven array load (the imbalance
+// cluster steering exploits), small enough to regenerate in seconds.
+const (
+	clusterArrays  = 8
+	clusterTenants = 16
+)
+
+// clusterScenario is one row of the fleet grid.
+type clusterScenario struct {
+	name     string
+	profiles []string // tenant profiles, assigned round-robin
+	scale    float64  // arrival scale applied to every tenant
+	lgc      bool     // force uncoordinated intra-array GC (LGC)
+	faults   []int    // arrays replaying under the fault plan
+	plan     gcsteering.FaultPlan
+}
+
+// clusterScenarios are the three fleet regimes:
+//
+//   - steady-mix: balanced read/write tenants on healthy arrays — the
+//     regime where routing should change little (a no-harm check).
+//   - gc-heavy: write-heavy tenants at double arrival rate over LGC
+//     arrays, so member GC episodes pepper the fleet and the router has
+//     real windows to dodge.
+//   - rebuild: two arrays lose a member early and reconstruct at low
+//     bandwidth, serving degraded reads for most of the run — the
+//     between-array analogue of the paper's Fig. 11.
+func clusterScenarios() []clusterScenario {
+	return []clusterScenario{
+		{
+			name:     "steady-mix",
+			profiles: []string{"Fin1", "hm_0", "HPC_R", "prxy_0"},
+			scale:    1,
+		},
+		{
+			name:     "gc-heavy",
+			profiles: []string{"HPC_W", "prxy_0", "Fin1"},
+			scale:    2,
+			lgc:      true,
+		},
+		{
+			name:     "rebuild",
+			profiles: []string{"HPC_R", "hm_0", "Fin1"},
+			scale:    1,
+			faults:   []int{0, 3},
+			plan: gcsteering.FaultPlan{
+				Failures:      []gcsteering.DiskFault{{Disk: 1, AtMs: 1}},
+				RepairDelayMs: 1,
+				RebuildMBps:   25,
+			},
+		},
+	}
+}
+
+// clusterConfig assembles the fleet configuration for one cell.
+func clusterConfig(o Options, sc clusterScenario, policy cluster.Policy) cluster.Config {
+	base := o.base()
+	if sc.lgc {
+		base.Scheme = gcsteering.SchemeLGC
+	}
+	perTenant := o.maxRequests() / clusterTenants
+	if perTenant < 40 {
+		perTenant = 40
+	}
+	qos := []cluster.QoS{cluster.Gold, cluster.Silver, cluster.Bronze}
+	tenants := make([]cluster.Tenant, clusterTenants)
+	for i := range tenants {
+		tenants[i] = cluster.Tenant{
+			Name:         fmt.Sprintf("t%02d", i),
+			Profile:      sc.profiles[i%len(sc.profiles)],
+			QoS:          qos[i%len(qos)],
+			Requests:     perTenant,
+			ArrivalScale: sc.scale * (1 + 0.25*float64(i%3)),
+			Volumes:      1 + i%2,
+		}
+	}
+	return cluster.Config{
+		Arrays:      clusterArrays,
+		Policy:      policy,
+		Workers:     o.workers(),
+		Seed:        o.Seed,
+		Base:        base,
+		Tenants:     tenants,
+		FaultArrays: sc.faults,
+		Fault:       sc.plan,
+	}
+}
+
+// Cluster runs the fleet-scale grid: three scenarios × {hash-only,
+// gc-aware} routing over an 8-array, 16-tenant fleet. Cells run
+// sequentially — each cell already fans its shards out over the worker
+// pool, and sequential cells keep the grid deterministic trivially.
+func Cluster(o Options) (*Grid, error) {
+	scenarios := clusterScenarios()
+	policies := []cluster.Policy{cluster.PolicyHash, cluster.PolicySteering}
+	workloads := make([]string, len(scenarios))
+	for i, sc := range scenarios {
+		workloads[i] = sc.name
+	}
+	variants := make([]string, len(policies))
+	for i, p := range policies {
+		variants[i] = p.String()
+	}
+	g := newGrid(fmt.Sprintf("Fleet simulation: %d arrays × %d tenants, consistent-hash placement, hash-only vs GC/rebuild-aware routing",
+		clusterArrays, clusterTenants), workloads, variants)
+
+	for _, sc := range scenarios {
+		for _, p := range policies {
+			r, err := cluster.Run(clusterConfig(o, sc, p))
+			if err != nil {
+				return nil, fmt.Errorf("cluster %s/%s: %w", sc.name, p, err)
+			}
+			c := Cell{sc.name, p.String()}
+			g.Mean[c] = r.Latency.Mean / 1e3
+			g.addAux("cluster p99 (µs)", c, float64(r.Latency.P99)/1e3)
+			g.addAux("read p99 (µs)", c, float64(r.ReadLatency.P99)/1e3)
+			g.addAux("worst tenant p99 (µs)", c, float64(r.WorstTenantP99())/1e3)
+			g.addAux("worst tenant read p99 (µs)", c, float64(r.WorstTenantReadP99())/1e3)
+			g.addAux("redirects", c, float64(r.Redirects))
+			g.addAux("shed", c, float64(r.Shed))
+			g.addAux("rejected", c, float64(r.Rejected))
+			g.addAux("wov (ms)", c, float64(r.WOV)/1e6)
+		}
+	}
+	return g, nil
+}

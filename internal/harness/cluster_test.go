@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gcsteering/internal/cluster"
+)
+
+func TestClusterGridShapeAndHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet grid")
+	}
+	g, err := Cluster(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Workloads) != 3 || len(g.Variants) != 2 {
+		t.Fatalf("grid shape %dx%d", len(g.Workloads), len(g.Variants))
+	}
+	for _, w := range g.Workloads {
+		for _, v := range g.Variants {
+			if g.Mean[Cell{w, v}] <= 0 {
+				t.Fatalf("missing cell %s/%s", w, v)
+			}
+		}
+	}
+	// The routing decision is the only difference between the variants, so
+	// the admission tier must shed identically.
+	shed := g.Aux["shed"]
+	for _, w := range g.Workloads {
+		if shed[Cell{w, "hash-only"}] != shed[Cell{w, "gc-aware"}] {
+			t.Fatalf("%s: shed differs across policies (%v vs %v) — admission is not policy-independent",
+				w, shed[Cell{w, "hash-only"}], shed[Cell{w, "gc-aware"}])
+		}
+	}
+	// GC-aware routing actually routes: redirects on every scenario, none
+	// on the hash baseline.
+	redir := g.Aux["redirects"]
+	for _, w := range g.Workloads {
+		if redir[Cell{w, "hash-only"}] != 0 {
+			t.Fatalf("%s: hash-only redirected %.0f requests", w, redir[Cell{w, "hash-only"}])
+		}
+		if redir[Cell{w, "gc-aware"}] == 0 {
+			t.Fatalf("%s: gc-aware diverted nothing", w)
+		}
+	}
+	// The headline claim (acceptance criterion): GC/rebuild-aware routing
+	// reduces tenant read tail latency vs the hash-only baseline — never
+	// worse on any scenario, strictly better on at least one.
+	p99 := g.Aux["worst tenant read p99 (µs)"]
+	improved := 0
+	for _, w := range g.Workloads {
+		hash, aware := p99[Cell{w, "hash-only"}], p99[Cell{w, "gc-aware"}]
+		if aware > hash {
+			t.Fatalf("%s: gc-aware worst tenant read p99 %.1fµs above hash-only %.1fµs", w, aware, hash)
+		}
+		if aware < hash {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Fatalf("gc-aware never improved worst tenant read p99: %v", p99)
+	}
+	// And the mean moves too, on geometric mean across scenarios.
+	if gm := g.GeoMeanNormalized("hash-only")["gc-aware"]; gm >= 1 {
+		t.Fatalf("gc-aware geomean %.3f, want < 1 (beats hash-only)", gm)
+	}
+	out := g.Render("hash-only")
+	for _, want := range []string{"Fleet simulation", "redirects", "wov (ms)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterConfigUsesOptions(t *testing.T) {
+	o := tinyOptions()
+	o.Seed = 7
+	sc := clusterScenarios()[0]
+	c := clusterConfig(o, sc, cluster.PolicySteering)
+	if c.Arrays != clusterArrays || len(c.Tenants) != clusterTenants {
+		t.Fatalf("fleet shape %d arrays × %d tenants", c.Arrays, len(c.Tenants))
+	}
+	if c.Seed != 7 {
+		t.Fatalf("seed offset not applied: %d", c.Seed)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	per := o.maxRequests() / clusterTenants
+	for _, tn := range c.Tenants {
+		if tn.Requests != per {
+			t.Fatalf("tenant %s requests %d, want %d", tn.Name, tn.Requests, per)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gcsteering"
+	"gcsteering/internal/cluster"
 )
 
 // TestGridDeterministicAcrossWorkers pins the harness's core contract: each
@@ -68,6 +69,49 @@ func TestFailSlowGridDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if !reflect.DeepEqual(gs.Aux, gf.Aux) {
 		t.Errorf("aux metrics differ across worker counts")
+	}
+}
+
+// TestClusterDeterministicAcrossShardWorkers pins the fleet layer's
+// determinism contract: shards replay on a bounded worker pool, but the
+// pool size is pure parallelism — the same seed and configuration must
+// produce byte-identical aggregated ClusterResults AND byte-identical
+// merged traces with 1, 2, or 8 shard workers.
+func TestClusterDeterministicAcrossShardWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation")
+	}
+	o := tinyOptions()
+	o.MaxRequests = 1600
+	sc := clusterScenarios()[2] // rebuild: exercises fault shards + steering
+	run := func(workers int) (*cluster.ClusterResults, []byte) {
+		c := clusterConfig(o, sc, cluster.PolicySteering)
+		c.Workers = workers
+		var buf bytes.Buffer
+		c.Trace = &buf
+		r, err := cluster.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}
+	baseRes, baseTrace := run(1)
+	if len(baseTrace) == 0 {
+		t.Fatal("no trace emitted")
+	}
+	if !strings.HasPrefix(string(baseTrace), `{"t":`) {
+		t.Fatalf("merged trace does not start with a JSON line: %.80s", baseTrace)
+	}
+	for _, workers := range []int{2, 8} {
+		res, tr := run(workers)
+		if !reflect.DeepEqual(baseRes, res) {
+			t.Errorf("ClusterResults differ between 1 and %d workers:\n1: %s\n%d: %s",
+				workers, baseRes, workers, res)
+		}
+		if !bytes.Equal(baseTrace, tr) {
+			t.Errorf("merged traces differ between 1 and %d workers (%d vs %d bytes)",
+				workers, len(baseTrace), len(tr))
+		}
 	}
 }
 

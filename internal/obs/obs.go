@@ -162,6 +162,16 @@ const (
 	// (-1 for scrub), aux = 1 hot-read migration skipped, 2 scrub stripe
 	// deferred.
 	KShed
+	// KClusterPlace is a request routed to its primary array by the cluster
+	// tier. dev = array index, aux = tenant index, aux2 = request sequence.
+	KClusterPlace
+	// KClusterRedirect is a read diverted from a busy primary to its
+	// replica array. dev = replica array, aux = primary array, aux2 =
+	// request sequence.
+	KClusterRedirect
+	// KClusterShed is a request dropped by a tenant's admission budget.
+	// aux = tenant index, aux2 = request sequence.
+	KClusterShed
 
 	kindCount
 )
@@ -204,6 +214,9 @@ var kindNames = [kindCount]string{
 	KRetryExhausted:   "retry-exhausted",
 	KReject:           "reject",
 	KShed:             "shed",
+	KClusterPlace:     "cluster-place",
+	KClusterRedirect:  "cluster-redirect",
+	KClusterShed:      "cluster-shed",
 }
 
 // String returns the kind's wire name.

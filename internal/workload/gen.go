@@ -22,6 +22,11 @@ type Options struct {
 	MaxRequests int
 	// Seed makes generation deterministic.
 	Seed int64
+	// ArrivalScale multiplies the profile's MeanIOPS (>1 compresses the
+	// trace in time, <1 stretches it). Values <= 0 default to 1. The
+	// cluster layer uses it to give tenants sharing a profile distinct
+	// load levels.
+	ArrivalScale float64
 }
 
 // scatter is a large prime used to spread Zipf ranks across the address
@@ -75,6 +80,9 @@ func NewGenerator(p Profile, opt Options) (*Generator, error) {
 	}
 	if opt.MaxRequests > 0 && total > opt.MaxRequests {
 		total = opt.MaxRequests
+	}
+	if opt.ArrivalScale > 0 {
+		p.MeanIOPS *= opt.ArrivalScale
 	}
 	g := &Generator{
 		p:   p,

@@ -77,6 +77,13 @@ type Results struct {
 	// latency spikes line up with GC windows.
 	Phases PhaseLatencies
 
+	// Busy lists the background-occupancy windows recorded when
+	// Config.RecordBusy is set: per-device GC episodes, open health
+	// breakers, and active rebuilds, each closed at the run end if still
+	// open. The cluster routing tier reads these as its steering signal.
+	// Intervals appear in the order they closed, which is deterministic.
+	Busy []BusyInterval
+
 	// Devices carries the per-member breakdown of the aggregate GC and
 	// endurance counters above.
 	Devices []DeviceResults
@@ -85,6 +92,42 @@ type Results struct {
 	// GC schemes that erase more (GGC's forced collections) age the flash
 	// faster — the reliability angle of §II-A.
 	Wear WearStats
+}
+
+// BusyKind classifies one background-occupancy window in Results.Busy.
+type BusyKind uint8
+
+const (
+	// BusyGC is one member's garbage-collection episode.
+	BusyGC BusyKind = iota
+	// BusyBreaker is one member's open health circuit breaker.
+	BusyBreaker
+	// BusyRebuild is an active reconstruction (array-wide, Dev -1).
+	BusyRebuild
+)
+
+// String names the busy kind for reports.
+func (k BusyKind) String() string {
+	switch k {
+	case BusyGC:
+		return "gc"
+	case BusyBreaker:
+		return "breaker"
+	case BusyRebuild:
+		return "rebuild"
+	default:
+		return "unknown"
+	}
+}
+
+// BusyInterval is one span during which a member device (or, for rebuilds,
+// the whole array) was occupied with background work that degrades
+// foreground service. Recorded only when Config.RecordBusy is set.
+type BusyInterval struct {
+	Kind  BusyKind
+	Dev   int // member device, -1 for array-wide windows
+	Start Time
+	End   Time
 }
 
 // PhaseLatencies splits response times by what the array was doing when the
@@ -208,6 +251,10 @@ func (s *System) results() *Results {
 		WriteLatency: s.writeLat.Summarize(),
 	}
 	r.Duration = s.eng.Now()
+	if s.busy != nil {
+		s.busy.finish(s.eng.Now())
+		r.Busy = s.busy.intervals
+	}
 	r.VariabilityCV = s.rec.VariabilityCV()
 	r.Series = s.rec
 	r.Phases = PhaseLatencies{

@@ -94,6 +94,11 @@ type System struct {
 	scrubber *scrub.Scrubber   // non-nil when Config.ScrubMBps > 0
 	health   *health.Monitor   // non-nil when Config.Quarantine
 	nrepl    int               // replacement SSDs created so far (device IDs)
+	busy     *busyLog          // non-nil when Config.RecordBusy
+
+	// onRequest, when set via ObserveRequests, fires once per submitted
+	// request as it settles (completes, hits its deadline, or is rejected).
+	onRequest func(seq int64, latNs int64, rejected bool)
 
 	// measuring gates response-time recording; ReplayDuringRebuild stops
 	// recording when reconstruction completes so the results describe the
@@ -200,6 +205,12 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("gcsteering: unknown scheme %v", cfg.Scheme)
 	}
 
+	if cfg.RecordBusy {
+		s.busy = newBusyLog(cfg.Disks)
+		s.hub.SubscribeStart(func(now sim.Time, d *ssd.Device) { s.busy.note(BusyGC, d.ID, now, true) })
+		s.hub.SubscribeEnd(func(now sim.Time, d *ssd.Device) { s.busy.note(BusyGC, d.ID, now, false) })
+	}
+
 	// Robustness wiring: retries with backoff, admission control, and the
 	// fail-slow health monitor. All of it is inert (and byte-identical to a
 	// run without it) until a fault plan or queue pressure exercises it.
@@ -230,6 +241,9 @@ func New(cfg Config) (*System, error) {
 		})
 		mon.OnChange = func(now sim.Time, dev int, open bool) {
 			s.quarGauge.Set(int64(now), float64(mon.OpenCount()))
+			if s.busy != nil {
+				s.busy.note(BusyBreaker, dev, now, open)
+			}
 			if !open && s.steer != nil {
 				// Reinstatement kicks the reclaim drain, like a GC-end event:
 				// write-backs deferred while the member was quarantined resume.
@@ -374,6 +388,9 @@ func (s *System) submit(now sim.Time, r Record) {
 	settled := false
 	finish := func(d int64) {
 		s.inFlight--
+		if s.onRequest != nil {
+			s.onRequest(seq, d, false)
+		}
 		if !record {
 			return
 		}
@@ -441,6 +458,9 @@ func (s *System) submit(now sim.Time, r Record) {
 		settled = true
 		s.inFlight--
 		s.rejected++
+		if s.onRequest != nil {
+			s.onRequest(seq, 0, true)
+		}
 		if s.trace.Enabled() {
 			s.trace.Emit(now, obs.Event{Kind: obs.KReject, Dev: -1,
 				Page: int64(page), Pages: int32(pages),
@@ -599,9 +619,15 @@ func (s *System) ReplayDuringRebuild(tr Trace, failDisk int, bandwidthMBps float
 	}
 	start := s.eng.Now()
 	s.rebuildActive = true
+	if s.busy != nil {
+		s.busy.note(BusyRebuild, -1, start, true)
+	}
 	rb.OnComplete = func(now sim.Time) {
 		s.rebuildDuration = now - start
 		s.rebuildActive = false
+		if s.busy != nil {
+			s.busy.note(BusyRebuild, -1, now, false)
+		}
 		// Stop recording: Fig. 11 reports the response time *during* the
 		// reconstruction, not the quiet period after it.
 		s.measuring = false
@@ -660,6 +686,12 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 	ctl.Trace = s.trace
 	ctl.SinkFor = s.faultSink
 	ctl.OnFail = func(now sim.Time, disk int) {
+		if s.busy != nil {
+			// The busy window opens at the loss, not the rebuild start: the
+			// array serves degraded reads for the whole failure-to-repair
+			// span, which is exactly the window cluster routing must avoid.
+			s.busy.note(BusyRebuild, disk, now, true)
+		}
 		if s.health != nil {
 			// A dead disk is the array's problem, not the breaker's: clear
 			// any open quarantine so reinstatement probes stop.
@@ -683,6 +715,9 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 	}
 	ctl.OnRepair = func(now sim.Time, disk int) {
 		s.rebuildActive = false
+		if s.busy != nil {
+			s.busy.note(BusyRebuild, disk, now, false)
+		}
 		if s.steer != nil {
 			s.steer.Staging().SetUnavailable(-1)
 			s.steer.SetFailedHome(-1)
@@ -766,6 +801,64 @@ func (s *System) newReplacement() (*ssd.Device, error) {
 
 // Now returns the engine clock (mainly for tests and custom drivers).
 func (s *System) Now() Time { return s.eng.Now() }
+
+// Events returns how many engine events have fired so far — the
+// simulator's unit of work, which the benchmark emitter divides by wall
+// time to report events/sec.
+func (s *System) Events() uint64 { return s.eng.Fired() }
+
+// ObserveRequests installs fn, invoked once per submitted request as it
+// settles: seq is the request's submission index (0-based, in trace
+// order), latNs the user-visible response time in nanoseconds (the
+// deadline for deadline-cancelled requests), and rejected marks requests
+// shed by admission control (their latNs is 0). The cluster layer uses it
+// to attribute shard latencies back to tenants. Call before Replay; a nil
+// fn removes the hook.
+func (s *System) ObserveRequests(fn func(seq int64, latNs int64, rejected bool)) {
+	s.onRequest = fn
+}
+
+// busyLog accumulates BusyInterval windows from the GC hub, the health
+// monitor, and the rebuild lifecycle. It is driven synchronously by the
+// single-threaded engine, so interval order is deterministic. Opening an
+// already-open (kind, dev) slot or closing a closed one is a no-op, which
+// lets the failure and rebuild-start hooks both assert the same window.
+type busyLog struct {
+	intervals []BusyInterval
+	open      []BusyInterval // End unset while the window is open
+}
+
+func newBusyLog(disks int) *busyLog {
+	return &busyLog{open: make([]BusyInterval, 0, disks+1)}
+}
+
+// note opens (active=true) or closes a busy window for (kind, dev).
+func (b *busyLog) note(kind BusyKind, dev int, now sim.Time, active bool) {
+	for i, w := range b.open {
+		if w.Kind != kind || w.Dev != dev {
+			continue
+		}
+		if active {
+			return // already open
+		}
+		w.End = now
+		b.intervals = append(b.intervals, w)
+		b.open = append(b.open[:i], b.open[i+1:]...)
+		return
+	}
+	if active {
+		b.open = append(b.open, BusyInterval{Kind: kind, Dev: dev, Start: now})
+	}
+}
+
+// finish closes every still-open window at the run end. Idempotent.
+func (b *busyLog) finish(now sim.Time) {
+	for _, w := range b.open {
+		w.End = now
+		b.intervals = append(b.intervals, w)
+	}
+	b.open = b.open[:0]
+}
 
 func boolInt(b bool) int64 {
 	if b {
