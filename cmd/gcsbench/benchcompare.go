@@ -1,0 +1,141 @@
+// Benchmark regression gate: gcsbench -bench-compare old.json new.json
+// compares two BENCH_*.json documents (written by TestEmitBenchJSON in the
+// repo root) and exits non-zero when a gated metric regressed beyond the
+// tolerance. CI runs it against the committed baseline so an event-loop or
+// allocation regression fails the build instead of landing silently.
+//
+// Gated metrics: events_per_sec (higher is better) and allocs_per_op
+// (lower is better). The remaining fields are reported for context but
+// never fail the gate — wall-clock grid times swing too much across
+// runners to gate on.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// benchFile mirrors the benchDoc shape emitted by TestEmitBenchJSON.
+type benchFile struct {
+	Schema            int     `json:"schema"`
+	GoVersion         string  `json:"go_version"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	ReplayRequests    int     `json:"replay_requests"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	SimulatedGBPerSec float64 `json:"simulated_gb_per_sec"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	Fig1GridWallMs    float64 `json:"fig1_grid_wall_ms"`
+	ClusterGridWallMs float64 `json:"cluster_grid_wall_ms"`
+}
+
+// benchCompareSchema is the document schema this gate understands; it
+// tracks benchSchemaVersion in bench_emit_test.go.
+const benchCompareSchema = 1
+
+func loadBench(path string) (benchFile, error) {
+	var doc benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if doc.Schema != benchCompareSchema {
+		return doc, fmt.Errorf("%s: schema %d, want %d", path, doc.Schema, benchCompareSchema)
+	}
+	return doc, nil
+}
+
+// benchMetric is one compared row of the diff report.
+type benchMetric struct {
+	name         string
+	old, new     float64
+	higherBetter bool
+	gated        bool
+}
+
+// regressed reports whether the metric moved in the losing direction by
+// more than tol (a fraction of the baseline). A zero baseline cannot be
+// compared proportionally and never regresses.
+func (m benchMetric) regressed(tol float64) bool {
+	if !m.gated || m.old == 0 {
+		return false
+	}
+	if m.higherBetter {
+		return m.new < m.old*(1-tol)
+	}
+	return m.new > m.old*(1+tol)
+}
+
+// delta is the fractional change relative to the baseline (NaN when the
+// baseline is zero).
+func (m benchMetric) delta() float64 {
+	if m.old == 0 {
+		return math.NaN()
+	}
+	return (m.new - m.old) / m.old
+}
+
+// runBenchCompare loads both documents, prints the diff report to stdout,
+// and returns the process exit code: 0 when no gated metric regressed
+// beyond tol, 1 otherwise (or on unreadable/incomparable input).
+func runBenchCompare(oldPath, newPath string, tol float64, stdout, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "gcsbench: "+format+"\n", args...)
+		return 1
+	}
+	if tol < 0 {
+		return fail("bench-tolerance %v must be non-negative", tol)
+	}
+	oldDoc, err := loadBench(oldPath)
+	if err != nil {
+		return fail("%v", err)
+	}
+	newDoc, err := loadBench(newPath)
+	if err != nil {
+		return fail("%v", err)
+	}
+	if oldDoc.ReplayRequests != newDoc.ReplayRequests {
+		return fail("documents are not comparable: replay_requests %d vs %d",
+			oldDoc.ReplayRequests, newDoc.ReplayRequests)
+	}
+
+	metrics := []benchMetric{
+		{"events_per_sec", oldDoc.EventsPerSec, newDoc.EventsPerSec, true, true},
+		{"allocs_per_op", float64(oldDoc.AllocsPerOp), float64(newDoc.AllocsPerOp), false, true},
+		{"simulated_gb_per_sec", oldDoc.SimulatedGBPerSec, newDoc.SimulatedGBPerSec, true, false},
+		{"fig1_grid_wall_ms", oldDoc.Fig1GridWallMs, newDoc.Fig1GridWallMs, false, false},
+		{"cluster_grid_wall_ms", oldDoc.ClusterGridWallMs, newDoc.ClusterGridWallMs, false, false},
+	}
+
+	fmt.Fprintf(stdout, "benchmark comparison: %s -> %s (tolerance %.0f%%)\n",
+		oldPath, newPath, tol*100)
+	if oldDoc.GoVersion != newDoc.GoVersion {
+		fmt.Fprintf(stdout, "note: go versions differ (%s vs %s)\n",
+			oldDoc.GoVersion, newDoc.GoVersion)
+	}
+	regressions := 0
+	for _, m := range metrics {
+		verdict := "ok"
+		switch {
+		case m.regressed(tol):
+			verdict = "REGRESSION"
+			regressions++
+		case !m.gated:
+			verdict = "info"
+		}
+		fmt.Fprintf(stdout, "  %-22s %14.2f -> %14.2f  %+7.2f%%  %s\n",
+			m.name, m.old, m.new, m.delta()*100, verdict)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "FAIL: %d gated metric(s) regressed beyond %.0f%%\n",
+			regressions, tol*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "PASS: no gated metric regressed beyond %.0f%%\n", tol*100)
+	return 0
+}

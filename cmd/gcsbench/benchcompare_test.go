@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBench writes a benchFile document to dir and returns its path.
+func writeBench(t *testing.T, dir, name string, doc benchFile) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// baselineBench is a plausible committed baseline for the gate tests.
+func baselineBench() benchFile {
+	return benchFile{
+		Schema:            benchCompareSchema,
+		GoVersion:         "go1.24.0",
+		GOMAXPROCS:        1,
+		ReplayRequests:    3000,
+		EventsPerSec:      600000,
+		SimulatedGBPerSec: 12,
+		AllocsPerOp:       500000,
+		Fig1GridWallMs:    300,
+		ClusterGridWallMs: 600,
+	}
+}
+
+func TestBenchCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	// 20% fewer events/sec: well past the default 10% tolerance.
+	slow := baselineBench()
+	slow.EventsPerSec *= 0.8
+	newPath := writeBench(t, dir, "new.json", slow)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath, newPath}, &out, &errb); code == 0 {
+		t.Fatalf("20%% events/sec regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") || !strings.Contains(out.String(), "events_per_sec") {
+		t.Fatalf("report does not name the regressed metric:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("report lacks a FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestBenchCompareAllocRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	leaky := baselineBench()
+	leaky.AllocsPerOp = leaky.AllocsPerOp * 3 / 2
+	newPath := writeBench(t, dir, "new.json", leaky)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath, newPath}, &out, &errb); code == 0 {
+		t.Fatalf("50%% allocs/op regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs_per_op") {
+		t.Fatalf("report does not name allocs_per_op:\n%s", out.String())
+	}
+}
+
+func TestBenchCompareWithinTolerancePasses(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	// 5% slower and 5% more allocations: inside the default 10% band.
+	wobble := baselineBench()
+	wobble.EventsPerSec *= 0.95
+	wobble.AllocsPerOp = wobble.AllocsPerOp * 21 / 20
+	newPath := writeBench(t, dir, "new.json", wobble)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("5%% wobble failed the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("report lacks a PASS verdict:\n%s", out.String())
+	}
+}
+
+func TestBenchCompareImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	fast := baselineBench()
+	fast.EventsPerSec *= 1.6
+	fast.AllocsPerOp /= 6
+	newPath := writeBench(t, dir, "new.json", fast)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath, newPath}, &out, &errb); code != 0 {
+		t.Fatalf("improvement failed the gate (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestBenchCompareToleranceFlagWidensBand(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	slow := baselineBench()
+	slow.EventsPerSec *= 0.8
+	newPath := writeBench(t, dir, "new.json", slow)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath, "-bench-tolerance", "0.3", newPath}, &out, &errb); code != 0 {
+		t.Fatalf("20%% regression failed a 30%% tolerance gate (exit %d):\n%s%s",
+			code, out.String(), errb.String())
+	}
+}
+
+func TestBenchCompareRejectsIncomparableDocs(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	other := baselineBench()
+	other.ReplayRequests = 9999
+	newPath := writeBench(t, dir, "new.json", other)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath, newPath}, &out, &errb); code == 0 {
+		t.Fatal("documents with different replay_requests compared cleanly")
+	}
+	if !strings.Contains(errb.String(), "replay_requests") {
+		t.Fatalf("stderr %q does not explain the mismatch", errb.String())
+	}
+
+	stale := baselineBench()
+	stale.Schema = benchCompareSchema + 1
+	stalePath := writeBench(t, dir, "stale.json", stale)
+	if code := run([]string{"-bench-compare", oldPath, stalePath}, &out, &errb); code == 0 {
+		t.Fatal("schema mismatch compared cleanly")
+	}
+}
+
+func TestBenchCompareUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", baselineBench())
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", oldPath}, &out, &errb); code == 0 {
+		t.Fatal("missing new.json argument exited 0")
+	}
+	if code := run([]string{"-bench-compare", filepath.Join(dir, "absent.json"), oldPath}, &out, &errb); code == 0 {
+		t.Fatal("unreadable baseline exited 0")
+	}
+}
+
+// TestBenchCompareCommittedBaselines gates the repo's own committed
+// documents: BENCH_7.json must not regress against BENCH_6.json. This is
+// the same comparison CI performs against a freshly emitted document.
+func TestBenchCompareCommittedBaselines(t *testing.T) {
+	old := filepath.Join("..", "..", "BENCH_6.json")
+	new := filepath.Join("..", "..", "BENCH_7.json")
+	if _, err := os.Stat(new); err != nil {
+		t.Skip("BENCH_7.json not yet emitted")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-bench-compare", old, new}, &out, &errb); code != 0 {
+		t.Fatalf("committed BENCH_7.json regresses vs BENCH_6.json (exit %d):\n%s%s",
+			code, out.String(), errb.String())
+	}
+}

@@ -205,6 +205,11 @@ func (c Config) Validate() error {
 	if c.Arrays < 2 {
 		return fmt.Errorf("cluster: Arrays %d too few (need >= 2 for replica placement)", c.Arrays)
 	}
+	if c.VNodes < 0 {
+		// 0 means "use the default"; an explicit negative count would build
+		// an empty placement ring whose lookups could never spread keys.
+		return fmt.Errorf("cluster: VNodes %d negative (0 selects the default of 64)", c.VNodes)
+	}
 	if len(c.Tenants) == 0 {
 		return fmt.Errorf("cluster: no tenants")
 	}

@@ -66,6 +66,19 @@ func TestRingSingleArrayReplicaDegenerate(t *testing.T) {
 	}
 }
 
+// TestRingEmptyLookupDoesNotPanic pins the degenerate-ring fix: a ring with
+// no points (zero arrays or zero vnodes) used to index r.points[0] and
+// panic. Config validation rejects such fleets, and lookup itself now
+// degrades to array 0 as a backstop for direct callers.
+func TestRingEmptyLookupDoesNotPanic(t *testing.T) {
+	for _, r := range []*ring{newRing(0, 64), newRing(4, 0), newRing(0, 0)} {
+		p, rep := r.lookup("tenant/vol")
+		if p != 0 || rep != 0 {
+			t.Fatalf("empty ring lookup: got (%d,%d), want (0,0)", p, rep)
+		}
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	base := tinyBase()
 	good := Config{Arrays: 2, Base: base, Tenants: tinyTenants(1, 10)}
@@ -77,6 +90,8 @@ func TestConfigValidate(t *testing.T) {
 		mut  func(*Config)
 	}{
 		{"one array", func(c *Config) { c.Arrays = 1 }},
+		{"zero arrays", func(c *Config) { c.Arrays = 0 }},
+		{"negative vnodes", func(c *Config) { c.VNodes = -1 }},
 		{"no tenants", func(c *Config) { c.Tenants = nil }},
 		{"bad profile", func(c *Config) { c.Tenants = []Tenant{{Name: "x", Profile: "nope", Requests: 1}} }},
 		{"no requests", func(c *Config) { c.Tenants = []Tenant{{Name: "x", Profile: "Fin1"}} }},

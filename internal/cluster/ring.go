@@ -67,8 +67,14 @@ func newRing(arrays, vnodes int) *ring {
 }
 
 // lookup returns the primary and replica array for a volume key. In a
-// one-array ring replica equals primary (no distinct array exists).
+// one-array ring replica equals primary (no distinct array exists). A
+// degenerate ring with no points maps every key to array 0 — Config
+// validation rejects such fleets before a ring is ever built, so the guard
+// is a backstop against future direct callers, not a reachable state.
 func (r *ring) lookup(key string) (primary, replica int) {
+	if len(r.points) == 0 {
+		return 0, 0
+	}
 	h := fnv64(key)
 	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
 	if i == len(r.points) {

@@ -155,6 +155,38 @@ func (t *DTable) WriteRunsFor(disk int32, merge bool) []Run {
 	return runs
 }
 
+// FirstWriteRunFor returns the lowest-page run that WriteRunsFor would
+// report for disk, without materializing or sorting the full run list —
+// the reclaimer drains one run per step, so building every run each time
+// is wasted work (and a per-step allocation). ok is false when the disk
+// has no write entries.
+func (t *DTable) FirstWriteRunFor(disk int32, merge bool) (Run, bool) {
+	var min int32
+	found := false
+	for k, e := range t.m {
+		if k.Disk != disk || !e.Write {
+			continue
+		}
+		if !found || k.Page < min {
+			min, found = k.Page, true
+		}
+	}
+	if !found {
+		return Run{}, false
+	}
+	run := Run{Disk: disk, Page: min, Pages: 1}
+	if merge {
+		for {
+			e, ok := t.m[PageKey{Disk: disk, Page: run.Page + run.Pages}]
+			if !ok || !e.Write {
+				break
+			}
+			run.Pages++
+		}
+	}
+	return run, true
+}
+
 // snapshotRecord is the gob wire form of one entry.
 type snapshotRecord struct {
 	Key   PageKey

@@ -74,12 +74,11 @@ func (s *Steering) drainNext(now sim.Time, disk int) {
 		s.draining[disk] = false
 		return
 	}
-	runs := s.dt.WriteRunsFor(int32(disk), s.cfg.ReclaimMerge)
-	if len(runs) == 0 {
+	run, ok := s.dt.FirstWriteRunFor(int32(disk), s.cfg.ReclaimMerge)
+	if !ok {
 		s.draining[disk] = false
 		return
 	}
-	run := runs[0]
 	s.stats.ReclaimRuns++
 	if s.Trace.Enabled() {
 		s.Trace.Emit(now, obs.Event{Kind: obs.KReclaim,

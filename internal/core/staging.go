@@ -205,6 +205,12 @@ type ReservedStaging struct {
 
 	rr          int // round-robin cursor
 	unavailable int
+
+	// pick's scratch, consumed by the caller before the next pick: idle
+	// candidates first (with capacity for busy ones appended behind them),
+	// busy candidates second.
+	idleScratch []int
+	busyScratch []int
 }
 
 // NewReservedStaging reserves reservedPages on each member starting at
@@ -233,6 +239,8 @@ func NewReservedStaging(devs []raid.Disk, base, reservedPages int, readFrac floa
 		base:        int32(base),
 		readEnd:     int32(base + readSlots),
 		unavailable: -1,
+		idleScratch: make([]int, 0, 2*len(devs)),
+		busyScratch: make([]int, 0, len(devs)),
 	}
 	for range devs {
 		s.reads = append(s.reads, newSlotPool(base, readSlots))
@@ -250,7 +258,9 @@ func (r *ReservedStaging) Name() string { return "Reserved" }
 // excluded entirely: redirecting onto a device that is itself collecting
 // would trade one GC queue for another.
 func (r *ReservedStaging) pick(now sim.Time, pools []*slotPool, skip0, want int, onlyIdle bool) []int {
-	var idle, busy []int
+	// idleScratch has capacity for every device twice, so appending busy
+	// behind idle below never reallocates.
+	idle, busy := r.idleScratch[:0], r.busyScratch[:0]
 	n := len(r.devs)
 	for i := 0; i < n; i++ {
 		d := (r.rr + i) % n

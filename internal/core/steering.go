@@ -135,7 +135,18 @@ type Steering struct {
 	// nearly full); hot-read migrations are shed while it holds so
 	// background copies do not compete with a saturated foreground.
 	Pressure func() bool
+
+	// Scratch buffers reused across route calls. The engine is
+	// single-threaded and every buffer is consumed before route returns;
+	// the reclaim drain defers through the event queue, so route never
+	// re-enters itself.
+	stagedScratch []StageLoc
+	locScratch    []StageLoc
+	runScratch    []pageRun
 }
+
+// pageRun is a contiguous page range forwarded to the home disk in one op.
+type pageRun struct{ page, pages int }
 
 // New wires a Steering controller onto the array. It replaces the array's
 // Route hook.
@@ -344,7 +355,7 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 	inGC := s.devs[disk].InGC(now)
 	quar := s.unhealthy(now, disk)
 
-	staged := make([]StageLoc, 0, op.Pages)
+	staged := s.stagedScratch[:0]
 	anyStaged := false
 	for i := 0; i < op.Pages; i++ {
 		if e, ok := s.dt.Get(PageKey{Disk: int32(disk), Page: int32(op.Page + i)}); ok {
@@ -363,13 +374,13 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 	if !anyStaged && !inGC && !quar {
 		// Fast path: nothing staged, disk healthy. Track popularity and
 		// maybe migrate, but let the array issue the op itself.
+		s.stagedScratch = staged[:0]
 		s.observeRead(now, op)
 		return false
 	}
 
 	// Count completions: one per staged page + one per direct run.
-	type run struct{ page, pages int }
-	var direct []run
+	direct := s.runScratch[:0]
 	nOps := 0
 	for i := 0; i < op.Pages; i++ {
 		if staged[i].Dev0 != NoMirror {
@@ -379,7 +390,7 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 		if n := len(direct); n > 0 && direct[n-1].page+direct[n-1].pages == op.Page+i {
 			direct[n-1].pages++
 		} else {
-			direct = append(direct, run{op.Page + i, 1})
+			direct = append(direct, pageRun{op.Page + i, 1})
 		}
 	}
 	nOps += len(direct)
@@ -419,6 +430,7 @@ func (s *Steering) routeRead(now sim.Time, op raid.SubOp, done func(sim.Time)) b
 			}
 		}
 	}
+	s.stagedScratch, s.runScratch = staged[:0], direct[:0]
 	return true
 }
 
@@ -529,9 +541,8 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 		}
 	}
 
-	type run struct{ page, pages int }
-	var locs []StageLoc
-	var direct []run
+	locs := s.locScratch[:0]
+	direct := s.runScratch[:0]
 	for i := 0; i < op.Pages; i++ {
 		key := PageKey{Disk: int32(disk), Page: int32(op.Page + i)}
 		e, exists := s.dt.Get(key)
@@ -608,12 +619,13 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 		if n := len(direct); n > 0 && direct[n-1].page+direct[n-1].pages == op.Page+i {
 			direct[n-1].pages++
 		} else {
-			direct = append(direct, run{op.Page + i, 1})
+			direct = append(direct, pageRun{op.Page + i, 1})
 		}
 	}
 	s.invalidateHot(disk, op)
 	if len(locs) == 0 && len(direct) == 1 && direct[0].pages == op.Pages {
 		// Everything fell back: let the array issue it.
+		s.locScratch, s.runScratch = locs[:0], direct[:0]
 		s.stats.DirectWrites += int64(op.Pages)
 		return false
 	}
@@ -625,6 +637,7 @@ func (s *Steering) routeWrite(now sim.Time, op raid.SubOp, done func(sim.Time)) 
 		s.stats.DirectWrites += int64(r.pages)
 		must(s.devs[disk].Write(now, r.page, r.pages, cb))
 	}
+	s.locScratch, s.runScratch = locs[:0], direct[:0]
 	return true
 }
 

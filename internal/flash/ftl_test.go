@@ -247,7 +247,7 @@ func TestGCMovesReflectValidPages(t *testing.T) {
 			// a later victim in the same episode, so validPages may be > 0
 			// again by the time the plan is returned; only the move sources
 			// are a stable property.
-			for _, m := range v.Moves {
+			for _, m := range plan.VictimMoves(v) {
 				if f.Geometry().PageBlock(m.From) != v.Block {
 					t.Fatalf("move source %d not in victim block %d", m.From, v.Block)
 				}

@@ -9,11 +9,13 @@ type Move struct {
 }
 
 // VictimPlan describes the collection of a single erase block: all valid
-// pages are moved out, then the block is erased.
+// pages are moved out, then the block is erased. Its moves live in the
+// owning Plan's flat arena at [MoveStart, MoveEnd) — one shared slice per
+// episode instead of one allocation per victim.
 type VictimPlan struct {
-	Block   int
-	Channel int
-	Moves   []Move
+	Block              int
+	Channel            int
+	MoveStart, MoveEnd int // index range into Plan.Moves
 }
 
 // Plan is the outcome of one garbage-collection episode. The FTL state is
@@ -21,8 +23,14 @@ type VictimPlan struct {
 // device model can charge the channel time the episode consumed.
 type Plan struct {
 	Victims    []VictimPlan
+	Moves      []Move // flat arena; victims index into it via [MoveStart, MoveEnd)
 	PagesMoved int
 	Erases     int
+}
+
+// VictimMoves returns the moves belonging to victim v.
+func (p *Plan) VictimMoves(v VictimPlan) []Move {
+	return p.Moves[v.MoveStart:v.MoveEnd]
 }
 
 // Empty reports whether the episode did no work.
@@ -50,9 +58,9 @@ func (f *FTL) CollectUntil(targetFree, minVictims int) Plan {
 		if b < 0 {
 			break // nothing collectible
 		}
-		vp := f.collectBlock(b)
+		vp := f.collectBlock(b, &plan)
 		plan.Victims = append(plan.Victims, vp)
-		plan.PagesMoved += len(vp.Moves)
+		plan.PagesMoved += vp.MoveEnd - vp.MoveStart
 		plan.Erases++
 	}
 	return plan
@@ -76,12 +84,12 @@ func (f *FTL) pickVictim() int {
 	return best
 }
 
-// collectBlock relocates every valid page of block b and erases it.
-// Destinations rotate across channels just like host writes do, so the
-// relocation programs proceed in parallel instead of serializing behind
-// the victim's own channel.
-func (f *FTL) collectBlock(b int) VictimPlan {
-	vp := VictimPlan{Block: b, Channel: f.geom.BlockChannel(b)}
+// collectBlock relocates every valid page of block b and erases it,
+// appending the moves to plan's flat arena. Destinations rotate across
+// channels just like host writes do, so the relocation programs proceed in
+// parallel instead of serializing behind the victim's own channel.
+func (f *FTL) collectBlock(b int, plan *Plan) VictimPlan {
+	vp := VictimPlan{Block: b, Channel: f.geom.BlockChannel(b), MoveStart: len(plan.Moves)}
 	base := b * f.geom.PagesPerBlock
 	for off := 0; off < f.geom.PagesPerBlock; off++ {
 		from := base + off
@@ -99,8 +107,9 @@ func (f *FTL) collectBlock(b int) VictimPlan {
 		f.p2l[to] = lpn
 		f.blocks[f.geom.PageBlock(to)].validPages++
 		f.gcWrites++
-		vp.Moves = append(vp.Moves, Move{From: from, To: to})
+		plan.Moves = append(plan.Moves, Move{From: from, To: to})
 	}
+	vp.MoveEnd = len(plan.Moves)
 	// Erase.
 	f.blocks[b].state = blockFree
 	f.blocks[b].writePtr = 0

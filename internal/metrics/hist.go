@@ -9,6 +9,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -23,11 +24,20 @@ const maxBuckets = 41 * subBuckets
 
 // Hist is a log-linear histogram of non-negative int64 samples (typically
 // latencies in nanoseconds). The zero value is ready to use.
+//
+// The second moment is accumulated shifted around the first observed sample
+// (sumD/sumD2 are sums of v-shift and (v-shift)²). The naive sumSq/n - mean²
+// form loses all significance on ns-scale samples: a few million samples
+// near 1e9 push Σv² to ~1e24, where float64 resolves only multiples of
+// ~2e8 — the subtraction then silently clamps a genuine spread to zero.
+// Shifting by a data-scale anchor keeps the accumulators near zero, so the
+// variance survives with full precision.
 type Hist struct {
 	counts [maxBuckets]uint64
 	n      uint64
-	sum    float64
-	sumSq  float64
+	shift  float64 // anchor: the first observed sample
+	sumD   float64 // Σ (v - shift)
+	sumD2  float64 // Σ (v - shift)²
 	min    int64
 	max    int64
 }
@@ -41,7 +51,7 @@ func bucketOf(v int64) int {
 		return int(v) // exact for tiny values
 	}
 	// Position of the highest set bit.
-	exp := 63 - leadingZeros(uint64(v))
+	exp := bits.Len64(uint64(v)) - 1
 	// Linear interpolation within the power-of-two range.
 	frac := (v - (1 << exp)) >> (exp - 4) // 0..15 given subBuckets == 16
 	idx := (exp-3)*subBuckets + int(frac)
@@ -62,23 +72,15 @@ func bucketLow(idx int) int64 {
 	return (1 << exp) + int64(frac)<<(exp-4)
 }
 
-func leadingZeros(v uint64) int {
-	n := 0
-	for i := 63; i >= 0; i-- {
-		if v&(1<<uint(i)) != 0 {
-			return n
-		}
-		n++
-	}
-	return 64
-}
-
 // Observe records one sample.
 func (h *Hist) Observe(v int64) {
 	if v < 0 {
 		v = 0
 	}
-	if h.n == 0 || v < h.min {
+	if h.n == 0 {
+		h.min = v
+		h.shift = float64(v)
+	} else if v < h.min {
 		h.min = v
 	}
 	if v > h.max {
@@ -86,9 +88,9 @@ func (h *Hist) Observe(v int64) {
 	}
 	h.counts[bucketOf(v)]++
 	h.n++
-	f := float64(v)
-	h.sum += f
-	h.sumSq += f * f
+	d := float64(v) - h.shift
+	h.sumD += d
+	h.sumD2 += d * d
 }
 
 // Count returns the number of samples observed.
@@ -99,16 +101,19 @@ func (h *Hist) Mean() float64 {
 	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.shift + h.sumD/float64(h.n)
 }
 
-// Stddev returns the population standard deviation.
+// Stddev returns the population standard deviation. The shifted form
+// Σd² - (Σd)²/n around the first-sample anchor is numerically safe: both
+// terms are O(n·spread²), not O(n·mean²), so near-equal large samples do
+// not cancel.
 func (h *Hist) Stddev() float64 {
 	if h.n == 0 {
 		return 0
 	}
-	m := h.Mean()
-	v := h.sumSq/float64(h.n) - m*m
+	n := float64(h.n)
+	v := (h.sumD2 - h.sumD*h.sumD/n) / n
 	if v < 0 {
 		v = 0
 	}
@@ -127,7 +132,7 @@ func (h *Hist) Min() int64 {
 func (h *Hist) Max() int64 { return h.max }
 
 // Sum returns the sum of all samples.
-func (h *Hist) Sum() float64 { return h.sum }
+func (h *Hist) Sum() float64 { return h.shift*float64(h.n) + h.sumD }
 
 // Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
 // the nearest-rank definition: the bucket holding the ceil(q*n)-th smallest
@@ -178,7 +183,11 @@ func (h *Hist) Merge(other *Hist) {
 	if other.n == 0 {
 		return
 	}
-	if h.n == 0 || other.min < h.min {
+	if h.n == 0 {
+		// h is empty: adopt other's anchor so the rebase below is exact.
+		h.shift = other.shift
+		h.min = other.min
+	} else if other.min < h.min {
 		h.min = other.min
 	}
 	if other.max > h.max {
@@ -187,9 +196,13 @@ func (h *Hist) Merge(other *Hist) {
 	for i := range h.counts {
 		h.counts[i] += other.counts[i]
 	}
+	// Rebase other's shifted moments onto h's anchor: with k = delta between
+	// anchors, Σ(v-s)  = Σ(v-s') + n·k  and  Σ(v-s)² = Σ(v-s')² + 2kΣ(v-s') + n·k².
+	k := other.shift - h.shift
+	no := float64(other.n)
+	h.sumD += other.sumD + no*k
+	h.sumD2 += other.sumD2 + 2*k*other.sumD + no*k*k
 	h.n += other.n
-	h.sum += other.sum
-	h.sumSq += other.sumSq
 }
 
 // Reset clears the histogram to its zero state.

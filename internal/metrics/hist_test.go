@@ -154,6 +154,55 @@ func TestHistMeanStddev(t *testing.T) {
 	}
 }
 
+// TestHistStddevLargeNearEqualSamples pins the catastrophic-cancellation
+// fix: millions of ns-scale samples a hair apart. The old sumSq/n - mean²
+// form pushes Σv² to ~4e24, where float64 resolves only multiples of ~5e8 —
+// the subtraction then clamped a genuine stddev of 1000 to 0. The shifted
+// accumulation recovers it to full precision.
+func TestHistStddevLargeNearEqualSamples(t *testing.T) {
+	var h Hist
+	const n = 2_000_000
+	const base = int64(1_500_000_000) // 1.5 s in ns
+	for i := 0; i < n; i++ {
+		// Alternate base±1000: mean = base, population stddev = 1000 exactly.
+		if i%2 == 0 {
+			h.Observe(base - 1000)
+		} else {
+			h.Observe(base + 1000)
+		}
+	}
+	if got := h.Mean(); math.Abs(got-float64(base)) > 1e-3 {
+		t.Fatalf("Mean = %v, want %d", got, base)
+	}
+	if got := h.Stddev(); math.Abs(got-1000) > 1e-3 {
+		t.Fatalf("Stddev = %v, want 1000 (catastrophic cancellation?)", got)
+	}
+}
+
+// TestHistMergeStddevLargeSamples checks that Merge preserves the shifted
+// second moment across histograms anchored at different shifts.
+func TestHistMergeStddevLargeSamples(t *testing.T) {
+	var a, b, whole Hist
+	const base = int64(2_000_000_000)
+	for i := 0; i < 1_000_000; i++ {
+		lo, hi := base-500, base+500
+		whole.Observe(lo)
+		whole.Observe(hi)
+		a.Observe(lo) // a anchors at base-500
+		b.Observe(hi) // b anchors at base+500
+	}
+	a.Merge(&b)
+	if got, want := a.Stddev(), whole.Stddev(); math.Abs(got-want) > 1e-3 {
+		t.Fatalf("merged Stddev = %v, want %v", got, want)
+	}
+	if math.Abs(a.Stddev()-500) > 1e-3 {
+		t.Fatalf("merged Stddev = %v, want 500", a.Stddev())
+	}
+	if math.Abs(a.Sum()-whole.Sum()) > 1 {
+		t.Fatalf("merged Sum = %v, want %v", a.Sum(), whole.Sum())
+	}
+}
+
 func TestHistMerge(t *testing.T) {
 	var a, b, whole Hist
 	rng := rand.New(rand.NewSource(9))

@@ -228,6 +228,78 @@ type Array struct {
 	mirrorNext int // round-robin cursor for RAID1 read balancing
 	inflight   int // user requests admitted but not yet completed
 	stats      Stats
+
+	// caps caches each member's optional capability interfaces (Faulty,
+	// Verifier, SlowDisk, TransientFaulty) so the per-sub-op fault checks
+	// are a nil test instead of a type assertion. Rebound whenever the
+	// disk set changes (RepairDisk).
+	caps []diskCaps
+
+	// Scratch buffers reused across requests. The engine is single-threaded
+	// and every buffer below is fully consumed before the request's public
+	// entry point returns (the Route hook never re-enters the array), so a
+	// request in steady state allocates no slices. Only writeStripe's
+	// phase-2 op list outlives its call — a closure holds it until phase 1
+	// completes — so it comes from the subopFree free list and is returned
+	// once issued.
+	extScratch    []Extent
+	itemScratch   []SubOp
+	hedgeScratch  []hedge
+	groupScratch  []stripeGroup
+	phase1Scratch []SubOp
+	coverScratch  [][2]int
+	subopFree     [][]SubOp
+}
+
+// diskCaps is one member's cached optional capabilities; nil fields mean
+// the disk does not implement the corresponding interface.
+type diskCaps struct {
+	faulty    Faulty
+	verifier  Verifier
+	slow      SlowDisk
+	transient TransientFaulty
+}
+
+// bindCaps re-derives the capability cache from the current disk set.
+func (a *Array) bindCaps() {
+	if a.caps == nil {
+		a.caps = make([]diskCaps, len(a.disks))
+	}
+	for i, d := range a.disks {
+		c := diskCaps{}
+		c.faulty, _ = d.(Faulty)
+		c.verifier, _ = d.(Verifier)
+		c.slow, _ = d.(SlowDisk)
+		c.transient, _ = d.(TransientFaulty)
+		a.caps[i] = c
+	}
+}
+
+// getSubOps takes a slice from the free list (or makes one); putSubOps
+// returns it once its ops are issued.
+func (a *Array) getSubOps() []SubOp {
+	if n := len(a.subopFree); n > 0 {
+		s := a.subopFree[n-1]
+		a.subopFree = a.subopFree[:n-1]
+		return s[:0]
+	}
+	return make([]SubOp, 0, 8)
+}
+
+func (a *Array) putSubOps(s []SubOp) { a.subopFree = append(a.subopFree, s) }
+
+// cover returns the per-data-unit covered-range scratch, every entry reset
+// to the "not covered" sentinel {-1,-1}.
+func (a *Array) cover() [][2]int {
+	n := a.lay.DataDisks()
+	if len(a.coverScratch) < n {
+		a.coverScratch = make([][2]int, n)
+	}
+	c := a.coverScratch[:n]
+	for i := range c {
+		c[i] = [2]int{-1, -1}
+	}
+	return c
 }
 
 // NewArray builds an array over the given member disks.
@@ -244,7 +316,9 @@ func NewArray(eng *sim.Engine, lay Layout, disks []Disk) (*Array, error) {
 				i, d.LogicalPages(), lay.DiskPages)
 		}
 	}
-	return &Array{eng: eng, lay: lay, disks: disks}, nil
+	a := &Array{eng: eng, lay: lay, disks: disks}
+	a.bindCaps()
+	return a, nil
 }
 
 // Layout returns the array layout.
@@ -315,6 +389,7 @@ func (a *Array) RepairDisk(replacement Disk) error {
 			return fmt.Errorf("raid: replacement too small")
 		}
 		a.disks[a.failed[0]] = replacement
+		a.bindCaps()
 	}
 	a.failed = a.failed[1:]
 	return nil
@@ -391,8 +466,8 @@ func (a *Array) issue(now sim.Time, op SubOp, tok *Cancel, done func(now sim.Tim
 // completion instant. With no transient fault (the common case) this is
 // exactly the plain read issue: one disk call, no extra events.
 func (a *Array) issueRead(now sim.Time, op SubOp, tok *Cancel, done func(now sim.Time), attempt int) {
-	td, ok := a.disks[op.Disk].(TransientFaulty)
-	if !ok || !td.TransientReadError(now, op.Page, op.Pages) {
+	td := a.caps[op.Disk].transient
+	if td == nil || !td.TransientReadError(now, op.Page, op.Pages) {
 		must(a.disks[op.Disk].Read(now, op.Page, op.Pages, done))
 		return
 	}
@@ -462,21 +537,27 @@ func barrier(n int, done func(now sim.Time)) func(now sim.Time) {
 // readError consults the member's fault hook (if any) for a latent sector
 // error on [page, page+pages).
 func (a *Array) readError(now sim.Time, d, page, pages int) bool {
-	f, ok := a.disks[d].(Faulty)
-	return ok && f.ReadError(now, page, pages)
+	f := a.caps[d].faulty
+	return f != nil && f.ReadError(now, page, pages)
 }
 
 // verifyError consults the member's checksum verification (if any) for
 // silent corruption on [page, page+pages). Only meaningful when
 // VerifyReads is enabled.
 func (a *Array) verifyError(now sim.Time, d, page, pages int) bool {
-	v, ok := a.disks[d].(Verifier)
-	return ok && v.VerifyError(now, page, pages)
+	v := a.caps[d].verifier
+	return v != nil && v.VerifyError(now, page, pages)
 }
 
 // quarantined consults the health monitor's signal, if wired.
 func (a *Array) quarantined(now sim.Time, d int) bool {
 	return a.Quarantined != nil && a.Quarantined(now, d)
+}
+
+// busyDisk reports whether alive member d is collecting or quarantined —
+// the per-disk busy signal the GC-aware write strategy weighs.
+func (a *Array) busyDisk(now sim.Time, d int) bool {
+	return a.alive(d) && (a.disks[d].InGC(now) || a.quarantined(now, d))
 }
 
 // hedgeReason reports why extent e's home disk deserves a hedged read:
@@ -486,11 +567,10 @@ func (a *Array) hedgeReason(now sim.Time, e Extent) int64 {
 	if a.lay.Level != RAID5 && a.lay.Level != RAID6 {
 		return 0
 	}
-	d := a.disks[e.Disk]
-	if d.InGC(now) {
+	if a.disks[e.Disk].InGC(now) {
 		return 1
 	}
-	if sd, ok := d.(SlowDisk); ok && sd.Slow(now) {
+	if sd := a.caps[e.Disk].slow; sd != nil && sd.Slow(now) {
 		return 2
 	}
 	if a.quarantined(now, e.Disk) {
@@ -506,6 +586,14 @@ func (a *Array) hedgeReason(now sim.Time, e Extent) int64 {
 // a URE in degraded mode), both P and Q are needed. ok is false when the
 // surviving redundancy cannot cover the losses — reading e is data loss.
 func (a *Array) reconstructItems(e Extent) (items []SubOp, ok bool) {
+	return a.appendReconstruct(nil, e)
+}
+
+// appendReconstruct is reconstructItems appending into dst; when ok is
+// false the caller must discard the appended ops (truncate back to the
+// pre-call length).
+func (a *Array) appendReconstruct(dst []SubOp, e Extent) (items []SubOp, ok bool) {
+	items = dst
 	unitOff := e.Page - a.lay.UnitPage(e.Stripe)
 	missingData := 0
 	for idx := 0; idx < a.lay.DataDisks(); idx++ {
@@ -538,27 +626,40 @@ type hedge struct {
 	recon  []SubOp
 }
 
-// admit applies queue-depth admission control and wraps done to release
-// the in-flight slot on completion. It returns ErrOverloaded when the
-// array is full. Requests without a completion callback are not tracked —
-// nothing would ever release their slot.
-func (a *Array) admit(done func(now sim.Time)) (func(now sim.Time), error) {
+// admitCheck applies queue-depth admission control, claiming an in-flight
+// slot for tracked requests. It returns ErrOverloaded when the array is
+// full. Requests without a completion callback are not tracked — nothing
+// would ever release their slot. The slot is returned by the callback
+// releaseBarrier builds for the same request.
+func (a *Array) admitCheck(tracked bool) error {
 	if a.QueueLimit > 0 && a.inflight >= a.QueueLimit {
 		a.stats.Rejected++
-		return nil, ErrOverloaded
+		return ErrOverloaded
 	}
+	if tracked {
+		a.inflight++
+	}
+	return nil
+}
+
+// releaseBarrier is the request-level completion barrier: after n calls it
+// returns the admission slot claimed by admitCheck and fires done. Folding
+// the release into the barrier closure costs one allocation per request
+// where a separate admit wrapper plus barrier used to cost two. With
+// done == nil it returns nil (untracked request, no slot to return).
+func (a *Array) releaseBarrier(n int, done func(now sim.Time)) func(now sim.Time) {
 	if done == nil {
-		return nil, nil
+		return nil
 	}
-	a.inflight++
-	released := false
+	remain := n
 	return func(t sim.Time) {
-		if !released {
-			released = true
-			a.inflight--
+		remain--
+		if remain != 0 {
+			return
 		}
+		a.inflight--
 		done(t)
-	}, nil
+	}
 }
 
 // Inflight returns how many admitted user requests have not yet completed.
@@ -583,17 +684,20 @@ func (a *Array) Read(now sim.Time, page, pages int, done func(now sim.Time)) err
 // when tok fires (backed-off retries) are absorbed. It returns
 // ErrOverloaded when admission control refuses the request.
 func (a *Array) ReadCancelable(now sim.Time, page, pages int, tok *Cancel, done func(now sim.Time)) error {
-	exts, err := a.lay.SplitExtent(page, pages)
+	exts, err := a.lay.SplitExtentAppend(a.extScratch[:0], page, pages)
 	if err != nil {
 		return err
 	}
-	if done, err = a.admit(done); err != nil {
+	a.extScratch = exts
+	if err := a.admitCheck(done != nil); err != nil {
 		return err
 	}
 	a.stats.UserReads++
-	// Pre-count sub-ops so a single barrier covers the whole request.
-	var items []SubOp
-	var hedges []hedge
+	// Pre-count sub-ops so a single barrier covers the whole request. The
+	// item and hedge lists are per-array scratch: both are fully issued
+	// before this call returns.
+	items := a.itemScratch[:0]
+	hedges := a.hedgeScratch[:0]
 	for _, e := range exts {
 		switch {
 		case a.lay.Level == RAID1:
@@ -635,7 +739,9 @@ func (a *Array) ReadCancelable(now sim.Time, page, pages int, tok *Cancel, done 
 				// data loss and let the read occupy the channel anyway (a
 				// real drive burns the retry time before giving up).
 				a.stats.UREs++
-				rec, ok := a.reconstructItems(e)
+				mark := len(items)
+				var ok bool
+				items, ok = a.appendReconstruct(items, e)
 				if a.Trace.Enabled() {
 					a.Trace.Emit(now, obs.Event{Kind: obs.KURE, Dev: int32(e.Disk),
 						Page: int64(e.Page), Pages: int32(e.Pages), Aux: boolInt(ok)})
@@ -643,16 +749,18 @@ func (a *Array) ReadCancelable(now sim.Time, page, pages int, tok *Cancel, done 
 				if ok {
 					a.stats.URERepaired++
 					a.stats.DegradedReads++
-					items = append(items, rec...)
 					continue
 				}
+				items = items[:mark]
 				a.stats.DataLossEvents++
 			} else if a.VerifyReads && a.verifyError(now, e.Disk, e.Page, e.Pages) {
 				// The read itself would succeed but deliver corrupt data:
 				// the end-to-end checksum catches it, and the extent is
 				// served from redundancy instead.
 				a.stats.ChecksumErrors++
-				rec, ok := a.reconstructItems(e)
+				mark := len(items)
+				var ok bool
+				items, ok = a.appendReconstruct(items, e)
 				if a.Trace.Enabled() {
 					a.Trace.Emit(now, obs.Event{Kind: obs.KChecksumError, Dev: int32(e.Disk),
 						Page: int64(e.Page), Pages: int32(e.Pages), Aux: boolInt(ok)})
@@ -660,9 +768,9 @@ func (a *Array) ReadCancelable(now sim.Time, page, pages int, tok *Cancel, done 
 				if ok {
 					a.stats.ChecksumFixed++
 					a.stats.DegradedReads++
-					items = append(items, rec...)
 					continue
 				}
+				items = items[:mark]
 				a.stats.DataLossEvents++
 			}
 			if a.quarantined(now, e.Disk) {
@@ -717,17 +825,17 @@ func (a *Array) ReadCancelable(now sim.Time, page, pages int, tok *Cancel, done 
 				a.Trace.Emit(now, obs.Event{Kind: obs.KDegradedRead, Dev: int32(e.Disk),
 					Page: int64(e.Page), Pages: int32(e.Pages)})
 			}
-			rec, _ := a.reconstructItems(e)
-			items = append(items, rec...)
+			items, _ = a.appendReconstruct(items, e)
 		}
 	}
-	cb := barrier(len(items)+len(hedges), done)
+	cb := a.releaseBarrier(len(items)+len(hedges), done)
 	for _, op := range items {
 		a.issue(now, op, tok, cb)
 	}
 	for _, h := range hedges {
 		a.issueHedge(now, h, tok, cb)
 	}
+	a.itemScratch, a.hedgeScratch = items[:0], hedges[:0]
 	return nil
 }
 
@@ -805,7 +913,9 @@ func (a *Array) pickMirror(now sim.Time) int {
 	panic("raid: no surviving mirror")
 }
 
-// stripeGroup is the portion of a write touching one stripe.
+// stripeGroup is the portion of a write touching one stripe. exts is a
+// subslice of the request's extent list, valid only until the enclosing
+// WriteCancelable returns (writeStripe consumes it synchronously).
 type stripeGroup struct {
 	stripe int
 	exts   []Extent
@@ -825,18 +935,19 @@ func (a *Array) Write(now sim.Time, page, pages int, done func(now sim.Time)) er
 // absorbed the way stale sub-ops are. It returns ErrOverloaded when
 // admission control refuses the request.
 func (a *Array) WriteCancelable(now sim.Time, page, pages int, tok *Cancel, done func(now sim.Time)) error {
-	exts, err := a.lay.SplitExtent(page, pages)
+	exts, err := a.lay.SplitExtentAppend(a.extScratch[:0], page, pages)
 	if err != nil {
 		return err
 	}
-	if done, err = a.admit(done); err != nil {
+	a.extScratch = exts
+	if err := a.admitCheck(done != nil); err != nil {
 		return err
 	}
 	a.stats.UserWrites++
 
 	switch a.lay.Level {
 	case RAID0:
-		cb := barrier(len(exts), done)
+		cb := a.releaseBarrier(len(exts), done)
 		for _, e := range exts {
 			a.issue(now, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: e.Stripe}, tok, cb)
 		}
@@ -848,7 +959,7 @@ func (a *Array) WriteCancelable(now sim.Time, page, pages int, tok *Cancel, done
 				alive++
 			}
 		}
-		cb := barrier(len(exts)*alive, done)
+		cb := a.releaseBarrier(len(exts)*alive, done)
 		for _, e := range exts {
 			for d := 0; d < a.lay.Disks; d++ {
 				if a.alive(d) {
@@ -859,19 +970,22 @@ func (a *Array) WriteCancelable(now sim.Time, page, pages int, tok *Cancel, done
 		return nil
 	}
 
-	// RAID5/6: group extents by stripe.
-	var groups []stripeGroup
-	for _, e := range exts {
-		if n := len(groups); n > 0 && groups[n-1].stripe == e.Stripe {
-			groups[n-1].exts = append(groups[n-1].exts, e)
-		} else {
-			groups = append(groups, stripeGroup{stripe: e.Stripe, exts: []Extent{e}})
+	// RAID5/6: group extents by stripe. Equal-stripe extents are adjacent
+	// in SplitExtent's logical-order output, so each group is a subslice of
+	// exts — no per-group allocation.
+	groups := a.groupScratch[:0]
+	start := 0
+	for i := 1; i <= len(exts); i++ {
+		if i == len(exts) || exts[i].Stripe != exts[start].Stripe {
+			groups = append(groups, stripeGroup{stripe: exts[start].Stripe, exts: exts[start:i]})
+			start = i
 		}
 	}
-	cb := barrier(len(groups), done)
+	cb := a.releaseBarrier(len(groups), done)
 	for _, g := range groups {
 		a.writeStripe(now, g, tok, cb)
 	}
+	a.groupScratch = groups[:0]
 	return nil
 }
 
@@ -909,8 +1023,10 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 		}
 	}
 
-	// Phase 2 (writes) shared by every path below.
-	var phase2 []SubOp
+	// Phase 2 (writes) shared by every path below. The list may be retained
+	// by the phase-1 barrier until the reads complete, so it comes from the
+	// free list rather than the per-call scratch.
+	phase2 := a.getSubOps()
 	for _, e := range g.exts {
 		if a.alive(e.Disk) {
 			phase2 = append(phase2, SubOp{Disk: e.Disk, Page: e.Page, Pages: e.Pages, Kind: OpDataWrite, Stripe: st})
@@ -927,24 +1043,9 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 		a.stats.ParityPages += int64(parityPages)
 	}
 
-	runPhase2 := func(t sim.Time) {
-		if len(phase2) == 0 {
-			// Every target (data and parity) is on the failed disk — the
-			// write completes trivially (data is lost only if redundancy is
-			// already gone, which FailDisk prevents).
-			if done != nil {
-				a.eng.At(t, done)
-			}
-			return
-		}
-		cb := barrier(len(phase2), done)
-		for _, op := range phase2 {
-			a.issue(t, op, tok, cb)
-		}
-	}
-
-	// Phase 1 (reads).
-	var phase1 []SubOp
+	// Phase 1 (reads): per-array scratch, fully issued before this call
+	// returns.
+	phase1 := a.phase1Scratch[:0]
 	switch {
 	case fullStripe:
 		a.stats.FullStripes++
@@ -973,7 +1074,7 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 		// a healthy disk. Units partially covered by the write still need
 		// their uncovered sub-ranges read.
 		a.stats.GCAvoidWrites++
-		covered := make(map[int][2]int, len(g.exts))
+		covered := a.cover()
 		for _, e := range g.exts {
 			covered[e.DataIdx] = [2]int{e.Page - base, e.Page - base + e.Pages}
 		}
@@ -982,8 +1083,8 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 			if !a.alive(d) {
 				continue
 			}
-			c, ok := covered[idx]
-			if !ok {
+			c := covered[idx]
+			if c[0] < 0 {
 				phase1 = append(phase1, SubOp{Disk: d, Page: base + lo, Pages: parityPages, Kind: OpOldDataRead, Stripe: st})
 				continue
 			}
@@ -1009,13 +1110,35 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 	}
 
 	if len(phase1) == 0 {
-		runPhase2(now)
+		// No read phase (full-stripe write, or nothing readable): the write
+		// phase starts now, with no deferred closure needed.
+		a.issuePhase2(now, phase2, tok, done)
 		return
 	}
-	cb := barrier(len(phase1), runPhase2)
+	cb := barrier(len(phase1), func(t sim.Time) { a.issuePhase2(t, phase2, tok, done) })
 	for _, op := range phase1 {
 		a.issue(now, op, tok, cb)
 	}
+	a.phase1Scratch = phase1[:0]
+}
+
+// issuePhase2 issues the write phase of one stripe write and returns the
+// sub-op list to the free list. With an empty list — every target (data
+// and parity) is on the failed disk — the write completes trivially (data
+// is lost only if redundancy is already gone, which FailDisk prevents).
+func (a *Array) issuePhase2(t sim.Time, phase2 []SubOp, tok *Cancel, done func(now sim.Time)) {
+	if len(phase2) == 0 {
+		a.putSubOps(phase2)
+		if done != nil {
+			a.eng.At(t, done)
+		}
+		return
+	}
+	cb := barrier(len(phase2), done)
+	for _, op := range phase2 {
+		a.issue(t, op, tok, cb)
+	}
+	a.putSubOps(phase2)
 }
 
 // gcAvoidWanted reports whether a partial-stripe write should use the
@@ -1033,12 +1156,9 @@ func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
 	lay := a.lay
 	st := g.stripe
 	base := lay.UnitPage(st)
-	inGC := func(d int) bool {
-		return a.alive(d) && (a.disks[d].InGC(now) || a.quarantined(now, d))
-	}
 
 	lo, hi := lay.UnitPages, 0
-	covered := make(map[int][2]int, len(g.exts))
+	covered := a.cover()
 	for _, e := range g.exts {
 		off := e.Page - base
 		if off < lo {
@@ -1053,14 +1173,14 @@ func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
 	// RMW phase 1: old data of written units + parity reads.
 	rmw := 0
 	for _, e := range g.exts {
-		if inGC(e.Disk) {
+		if a.busyDisk(now, e.Disk) {
 			rmw += e.Pages
 		}
 	}
-	if pd := lay.ParityDisk(st); pd >= 0 && inGC(pd) {
+	if pd := lay.ParityDisk(st); pd >= 0 && a.busyDisk(now, pd) {
 		rmw += hi - lo
 	}
-	if qd := lay.QDisk(st); qd >= 0 && inGC(qd) {
+	if qd := lay.QDisk(st); qd >= 0 && a.busyDisk(now, qd) {
 		rmw += hi - lo
 	}
 
@@ -1069,10 +1189,10 @@ func (a *Array) gcAvoidWanted(now sim.Time, g stripeGroup) bool {
 	recon := 0
 	for idx := 0; idx < lay.DataDisks(); idx++ {
 		d := lay.DataDisk(st, idx)
-		if !inGC(d) {
+		if !a.busyDisk(now, d) {
 			continue
 		}
-		if c, ok := covered[idx]; ok {
+		if c := covered[idx]; c[0] >= 0 {
 			recon += (c[0] - lo) + (hi - c[1])
 		} else {
 			recon += hi - lo

@@ -191,13 +191,20 @@ type Extent struct {
 // outside the array — are caller errors, returned rather than panicking:
 // SplitExtent sits on the public request path.
 func (l Layout) SplitExtent(page, pages int) ([]Extent, error) {
+	return l.SplitExtentAppend(nil, page, pages)
+}
+
+// SplitExtentAppend is SplitExtent appending into dst, for hot-path callers
+// that reuse a scratch buffer across requests instead of allocating one per
+// call. On error dst is returned unchanged.
+func (l Layout) SplitExtentAppend(dst []Extent, page, pages int) ([]Extent, error) {
 	if pages <= 0 {
-		return nil, fmt.Errorf("raid: extent [%d,%d) has non-positive length", page, page+pages)
+		return dst, fmt.Errorf("raid: extent [%d,%d) has non-positive length", page, page+pages)
 	}
 	if page < 0 || page+pages > l.LogicalPages() {
-		return nil, fmt.Errorf("raid: extent [%d,%d) outside array of %d pages", page, page+pages, l.LogicalPages())
+		return dst, fmt.Errorf("raid: extent [%d,%d) outside array of %d pages", page, page+pages, l.LogicalPages())
 	}
-	var out []Extent
+	out := dst
 	p := page
 	remain := pages
 	for remain > 0 {

@@ -14,7 +14,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -56,33 +55,13 @@ type event struct {
 	fn  func(now Time)
 }
 
-// eventHeap implements heap.Interface ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() (Time, bool) { // smallest timestamp without popping
-	if len(h) == 0 {
-		return 0, false
-	}
-	return h[0].at, true
-}
-
 // Engine is a discrete-event simulation executive.
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now       Time
 	seq       uint64
-	events    eventHeap
+	events    eventQueue
 	fired     uint64
 	maxEvents uint64
 
@@ -102,7 +81,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to execute.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.events.len() }
 
 // SetProbe installs an opt-in observability hook invoked every `every`
 // fired events with the current clock and queue depth. The time-series
@@ -130,7 +109,7 @@ func (e *Engine) At(at Time, fn func(now Time)) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -149,21 +128,21 @@ func (e *Engine) Defer(fn func(now Time)) { e.At(e.now, fn) }
 // Step executes the single earliest pending event. It reports false when no
 // events remain.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.events.len() == 0 {
 		return false
 	}
 	if e.maxEvents > 0 && e.fired >= e.maxEvents {
 		at, _ := e.events.peek()
 		panic(fmt.Sprintf(
 			"sim: event budget of %d exhausted at t=%v with %d events still pending (next at %v) — a component is likely rescheduling itself forever",
-			e.maxEvents, e.now, len(e.events), at))
+			e.maxEvents, e.now, e.events.len(), at))
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.fired++
 	ev.fn(e.now)
 	if e.probe != nil && e.fired%e.probeEvery == 0 {
-		e.probe(e.now, len(e.events))
+		e.probe(e.now, e.events.len())
 	}
 	return true
 }

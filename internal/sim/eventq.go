@@ -1,0 +1,107 @@
+package sim
+
+// eventQueue is a concrete 4-ary min-heap of events ordered by (at, seq).
+//
+// It replaces container/heap, whose interface-based Push/Pop box every
+// event into an `any` — one heap allocation per scheduled event, which at
+// millions of events per replay made the event queue the single largest
+// allocation site in the simulator. A concrete heap moves event structs
+// directly within one backing slice: pushing allocates only on amortized
+// slice growth, and a queue that has reached its high-water mark allocates
+// nothing at all in steady state.
+//
+// The heap is 4-ary rather than binary: the tree is half as deep, so a
+// sift touches fewer cache lines, and the four-way sibling comparison is
+// cheap on modern cores. Arity does not affect observable order — (at, seq)
+// is a total order (seq is unique), so events pop in exactly the sequence
+// container/heap produced, which is what keeps every byte-identical
+// determinism guarantee intact across the swap.
+type eventQueue struct {
+	ev []event
+}
+
+// before reports whether a fires strictly before b: earlier timestamp, or
+// same instant and scheduled earlier.
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// peek returns the earliest pending timestamp without popping.
+func (q *eventQueue) peek() (Time, bool) {
+	if len(q.ev) == 0 {
+		return 0, false
+	}
+	return q.ev[0].at, true
+}
+
+// push inserts e, maintaining the heap property.
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	q.siftUp(len(q.ev) - 1)
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
+	ev := q.ev
+	top := ev[0]
+	n := len(ev) - 1
+	ev[0] = ev[n]
+	// Zero the vacated tail slot: it holds a closure pointer, and leaving
+	// it in the backing array would keep the callback (and everything it
+	// captures) alive until the slot is overwritten by a future push.
+	ev[n] = event{}
+	q.ev = ev[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+// siftUp restores the heap property from leaf i toward the root.
+func (q *eventQueue) siftUp(i int) {
+	ev := q.ev
+	e := ev[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !before(&e, &ev[p]) {
+			break
+		}
+		ev[i] = ev[p]
+		i = p
+	}
+	ev[i] = e
+}
+
+// siftDown restores the heap property from node i toward the leaves.
+func (q *eventQueue) siftDown(i int) {
+	ev := q.ev
+	n := len(ev)
+	e := ev[i]
+	for {
+		first := i<<2 + 1 // leftmost child
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if before(&ev[c], &ev[m]) {
+				m = c
+			}
+		}
+		if !before(&ev[m], &e) {
+			break
+		}
+		ev[i] = ev[m]
+		i = m
+	}
+	ev[i] = e
+}

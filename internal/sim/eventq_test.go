@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refHeap is the old container/heap implementation, kept here as the
+// reference oracle: the concrete eventQueue must pop in exactly the order
+// this produced, or the byte-identical determinism contract is broken.
+type refHeap []event
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *refHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// TestEventQueueMatchesContainerHeap drives the 4-ary queue and the old
+// container/heap oracle with identical random schedules — interleaved
+// pushes and pops, heavy timestamp collisions to exercise the seq
+// tie-break — and requires identical pop order throughout.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var q eventQueue
+		var ref refHeap
+		var seq uint64
+		ops := 2000
+		for i := 0; i < ops; i++ {
+			if q.len() != ref.Len() {
+				t.Fatalf("trial %d: length diverged: %d vs %d", trial, q.len(), ref.Len())
+			}
+			// Bias toward pushes so the queues grow, but drain sometimes.
+			if q.len() > 0 && rng.Intn(3) == 0 {
+				got := q.pop()
+				want := heap.Pop(&ref).(event)
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("trial %d op %d: pop (at=%d seq=%d), oracle (at=%d seq=%d)",
+						trial, i, got.at, got.seq, want.at, want.seq)
+				}
+				continue
+			}
+			seq++
+			// Few distinct timestamps => many (at) ties decided by seq.
+			e := event{at: Time(rng.Intn(16)), seq: seq}
+			q.push(e)
+			heap.Push(&ref, e)
+		}
+		// Drain both completely.
+		for q.len() > 0 {
+			got := q.pop()
+			want := heap.Pop(&ref).(event)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("trial %d drain: pop (at=%d seq=%d), oracle (at=%d seq=%d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: oracle still holds %d events", trial, ref.Len())
+		}
+	}
+}
+
+// TestEventQueuePeek checks peek mirrors the root without mutating.
+func TestEventQueuePeek(t *testing.T) {
+	var q eventQueue
+	if _, ok := q.peek(); ok {
+		t.Fatal("peek on empty queue reported an event")
+	}
+	q.push(event{at: 30, seq: 1})
+	q.push(event{at: 10, seq: 2})
+	q.push(event{at: 20, seq: 3})
+	if at, ok := q.peek(); !ok || at != 10 {
+		t.Fatalf("peek: got (%d,%v), want (10,true)", at, ok)
+	}
+	if q.len() != 3 {
+		t.Fatalf("peek mutated the queue: len %d", q.len())
+	}
+}
+
+// TestEventQueueSteadyStateZeroAlloc pins the point of the rewrite: once
+// the backing slice has reached its high-water mark, push/pop cycles must
+// not allocate. container/heap could never satisfy this — its interface
+// Push boxes every event.
+func TestEventQueueSteadyStateZeroAlloc(t *testing.T) {
+	var q eventQueue
+	fn := func(Time) {}
+	var seq uint64
+	// Reach a high-water mark so append never grows inside the measured run.
+	for i := 0; i < 1024; i++ {
+		seq++
+		q.push(event{at: Time(i % 61), seq: seq, fn: fn})
+	}
+	for i := 0; i < 512; i++ {
+		q.pop()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			seq++
+			q.push(event{at: Time(int(seq) % 61), seq: seq, fn: fn})
+		}
+		for i := 0; i < 16; i++ {
+			q.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestEventQueuePopReleasesClosure verifies pop zeroes the vacated slot so
+// the backing array does not pin popped callbacks (and their captures).
+func TestEventQueuePopReleasesClosure(t *testing.T) {
+	var q eventQueue
+	q.push(event{at: 1, seq: 1, fn: func(Time) {}})
+	q.push(event{at: 2, seq: 2, fn: func(Time) {}})
+	q.pop()
+	// After one pop the slice has len 1; the slot beyond it must be zeroed.
+	tail := q.ev[:2][1]
+	if tail.fn != nil || tail.at != 0 || tail.seq != 0 {
+		t.Fatalf("vacated slot not cleared: %+v", tail)
+	}
+}

@@ -447,7 +447,7 @@ func (d *Device) startGC(now sim.Time, targetFree, minVictims int, forced bool) 
 	}
 	for _, v := range plan.Victims {
 		var victimEnd sim.Time
-		for _, m := range v.Moves {
+		for _, m := range plan.VictimMoves(v) {
 			rEnd := d.occupy(now, d.cfg.Geometry.PageChannel(m.From), lat.PageRead+lat.BusTransfer)
 			wEnd := d.occupy(now, d.cfg.Geometry.PageChannel(m.To), lat.PageProgram+lat.BusTransfer)
 			if rEnd > victimEnd {

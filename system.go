@@ -382,37 +382,12 @@ func (s *System) submit(now sim.Time, r Record) {
 			Page: int64(page), Pages: int32(pages),
 			Aux: boolInt(r.Write), Aux2: seq})
 	}
-	// finish records one settled request; the settled flag arbitrates
-	// between normal completion and the deadline event (whichever fires
-	// first wins, the loser is a no-op).
+	// The settled flag arbitrates between normal completion and the
+	// deadline event (whichever fires first wins, the loser is a no-op).
+	// Settling itself is a method, not a nested closure, so the common
+	// no-deadline case allocates one callback per request instead of two.
+	isWrite := r.Write
 	settled := false
-	finish := func(d int64) {
-		s.inFlight--
-		if s.onRequest != nil {
-			s.onRequest(seq, d, false)
-		}
-		if !record {
-			return
-		}
-		s.lat.Observe(d)
-		s.rec.Observe(int64(now), d)
-		switch {
-		case degraded:
-			s.degLat.Observe(d)
-		case inGC:
-			s.gcLat.Observe(d)
-			if !r.Write {
-				s.gcRdLat.Observe(d)
-			}
-		default:
-			s.quietLat.Observe(d)
-		}
-		if r.Write {
-			s.writeLat.Observe(d)
-		} else {
-			s.readLat.Observe(d)
-		}
-	}
 	done := func(t sim.Time) {
 		if settled {
 			return
@@ -423,7 +398,7 @@ func (s *System) submit(now sim.Time, r Record) {
 			s.trace.Emit(t, obs.Event{Kind: obs.KComplete, Dev: -1, Page: -1,
 				Aux: d, Aux2: seq})
 		}
-		finish(d)
+		s.settleRequest(now, seq, d, isWrite, record, degraded, inGC)
 	}
 	var tok *raid.Cancel
 	deadline := sim.Time(s.cfg.DeadlineUs * float64(sim.Microsecond))
@@ -443,7 +418,7 @@ func (s *System) submit(now sim.Time, r Record) {
 			}
 			// The requester gave up at the deadline, so that is the
 			// user-visible response time.
-			finish(int64(deadline))
+			s.settleRequest(now, seq, int64(deadline), isWrite, record, degraded, inGC)
 		})
 	}
 	var err error
@@ -472,6 +447,38 @@ func (s *System) submit(now sim.Time, r Record) {
 		// The range was clamped to the array above, so an error here is an
 		// internal invariant violation, not bad trace input.
 		panic(err)
+	}
+}
+
+// settleRequest records one settled request's response time against the
+// phase it was classified into at arrival. now is the arrival instant (the
+// time-series window the request belongs to), d the response time in
+// nanoseconds.
+func (s *System) settleRequest(now sim.Time, seq, d int64, isWrite, record, degraded, inGC bool) {
+	s.inFlight--
+	if s.onRequest != nil {
+		s.onRequest(seq, d, false)
+	}
+	if !record {
+		return
+	}
+	s.lat.Observe(d)
+	s.rec.Observe(int64(now), d)
+	switch {
+	case degraded:
+		s.degLat.Observe(d)
+	case inGC:
+		s.gcLat.Observe(d)
+		if !isWrite {
+			s.gcRdLat.Observe(d)
+		}
+	default:
+		s.quietLat.Observe(d)
+	}
+	if isWrite {
+		s.writeLat.Observe(d)
+	} else {
+		s.readLat.Observe(d)
 	}
 }
 
@@ -519,19 +526,22 @@ func (s *System) Replay(tr Trace) (*Results, error) {
 }
 
 // scheduleArrivals streams the trace into the engine one arrival at a
-// time (scheduling all arrivals up front would bloat the event heap).
+// time (scheduling all arrivals up front would bloat the event queue). A
+// single closure advances a captured cursor, rather than one closure per
+// arrival; the submit-then-schedule order matches the old recursive shape,
+// so event sequence numbers — and therefore traces — are unchanged.
 func (s *System) scheduleArrivals(tr Trace) {
 	base := s.eng.Now()
-	var next func(i int) func(sim.Time)
-	next = func(i int) func(sim.Time) {
-		return func(now sim.Time) {
-			s.submit(now, tr[i])
-			if i+1 < len(tr) {
-				s.eng.At(base+tr[i+1].Timestamp, next(i+1))
-			}
+	i := 0
+	var step func(now sim.Time)
+	step = func(now sim.Time) {
+		s.submit(now, tr[i])
+		if i+1 < len(tr) {
+			i++
+			s.eng.At(base+tr[i].Timestamp, step)
 		}
 	}
-	s.eng.At(base+tr[0].Timestamp, next(0))
+	s.eng.At(base+tr[0].Timestamp, step)
 }
 
 // drainSteering flushes redirected write data back after the run so the
