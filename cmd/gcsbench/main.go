@@ -73,7 +73,7 @@ type jsonDoc struct {
 // allExperiments is the -experiment all sequence.
 var allExperiments = []string{"table1", "fig1", "fig2", "fig7a", "fig8",
 	"fig9", "fig10", "fig11", "raid6", "endurance", "faults", "scrub",
-	"failslow", "cluster"}
+	"failslow", "cluster", "chaos"}
 
 // experimentBlurbs describes each entry of allExperiments for
 // -list-experiments (aliases like fig7b resolve to the same runs and are
@@ -93,6 +93,7 @@ var experimentBlurbs = map[string]string{
 	"scrub":     "self-healing grid: patrol scrub and hedged reads vs seeded defects",
 	"failslow":  "fail-slow grid: health quarantine, retries, hedged reads vs a slow member",
 	"cluster":   "fleet grid: 8 arrays × 16 tenants, hash-only vs GC/rebuild-aware routing",
+	"chaos":     "failure-domain grid: whole-array crashes and chaos, unreplicated vs replicated writes",
 }
 
 func main() {
@@ -106,7 +107,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gcsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|cluster|all")
+		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|cluster|chaos|all")
 		listExps   = fs.Bool("list-experiments", false, "print the experiment registry and exit")
 		requests   = fs.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
 		workers    = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
@@ -226,7 +227,7 @@ func knownExperiment(name string) bool {
 	switch name {
 	case "fig1", "endurance", "table1", "fig2", "fig7a", "fig7b", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "raid6", "faults", "scrub",
-		"failslow", "cluster":
+		"failslow", "cluster", "chaos":
 		return true
 	}
 	return false
@@ -292,6 +293,9 @@ func runOne(name string, o harness.Options, stdout io.Writer) (experimentOut, er
 	case "cluster":
 		g, e := harness.Cluster(o)
 		err = grid(g, e, "hash-only")
+	case "chaos":
+		g, e := harness.Chaos(o)
+		err = grid(g, e, "no-repl")
 	default:
 		err = fmt.Errorf("unknown experiment %q", name)
 	}

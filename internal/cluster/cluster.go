@@ -29,12 +29,12 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
 
 	"gcsteering"
-	"gcsteering/internal/metrics"
 	"gcsteering/internal/obs"
 	"gcsteering/internal/sim"
 	"gcsteering/internal/trace"
@@ -172,6 +172,41 @@ type Config struct {
 	FaultArrays []int
 	// Fault is the fault plan applied to each array in FaultArrays.
 	Fault gcsteering.FaultPlan
+
+	// ReplicateWrites mirrors every write synchronously onto the volume's
+	// ring replica: the request completes when both the primary and the
+	// replica leg have (a completion barrier), which is what makes
+	// replica-diverted reads return current data and whole-array failover
+	// possible at all. Off, the replica is the stale-signal approximation
+	// of PR 6 and arrays are single failure domains.
+	ReplicateWrites bool
+	// ReplicaLinkUs is the one-way inter-array link latency (µs) replica
+	// and mirror legs pay each direction. 0 models a free link.
+	ReplicaLinkUs float64
+	// ArrayFaults schedules whole-array crashes (at most one per array).
+	ArrayFaults []ArrayFault
+	// FailoverDelayMs is the detection gap between a crash and the
+	// Directory repinning its volumes onto replicas (0 = 2 ms). Requests
+	// arriving in the gap fail.
+	FailoverDelayMs float64
+	// RereplicateMBps caps each background re-replication copy stream
+	// (0 = 200), paced with the rebuild engine's interval model.
+	RereplicateMBps float64
+	// Migrations schedules live volume migrations (drain → copy → flip).
+	Migrations []Migration
+	// MigrateMBps caps migration copy streams (0 = RereplicateMBps).
+	MigrateMBps float64
+	// LinkFaults degrade the replication link into specific arrays.
+	LinkFaults []LinkSlowdown
+	// DeadlineMs is the availability deadline: a settled request counts as
+	// available when its client latency is within this many milliseconds
+	// (0 = any settled request counts). Failed and rejected requests are
+	// never available.
+	DeadlineMs float64
+	// Chaos seeds deterministic fleet-level adversity (crashes, link
+	// slowdowns, correlated GC storms) compiled into the plans above.
+	Chaos ChaosPlan
+
 	// Trace, when non-nil, receives the merged JSONL event stream: the
 	// router's placement/redirect/shed events first, then each shard's
 	// engine events in array order.
@@ -198,6 +233,42 @@ func (c Config) windowNs() int64 {
 		ms = 10
 	}
 	return int64(ms * float64(sim.Millisecond))
+}
+
+// failoverDelayMs resolves the crash-detection gap (default 2 ms).
+func (c Config) failoverDelayMs() float64 {
+	if c.FailoverDelayMs <= 0 {
+		return 2
+	}
+	return c.FailoverDelayMs
+}
+
+func (c Config) failoverDelay() sim.Time {
+	return sim.Time(c.failoverDelayMs() * float64(sim.Millisecond))
+}
+
+// rereplicateMBps resolves the re-replication bandwidth cap (default 200).
+func (c Config) rereplicateMBps() float64 {
+	if c.RereplicateMBps <= 0 {
+		return 200
+	}
+	return c.RereplicateMBps
+}
+
+// migrateMBps resolves the migration bandwidth cap.
+func (c Config) migrateMBps() float64 {
+	if c.MigrateMBps <= 0 {
+		return c.rereplicateMBps()
+	}
+	return c.MigrateMBps
+}
+
+// deadlineNs resolves the availability deadline (0 = none).
+func (c Config) deadlineNs() int64 {
+	if c.DeadlineMs <= 0 {
+		return 0
+	}
+	return int64(c.DeadlineMs * float64(sim.Millisecond))
 }
 
 // Validate reports configuration errors before any shard is built.
@@ -234,36 +305,86 @@ func (c Config) Validate() error {
 			return fmt.Errorf("cluster: Directory[%q] = %d out of range [0,%d)", k, a, c.Arrays)
 		}
 	}
+	if c.ReplicaLinkUs < 0 || math.IsNaN(c.ReplicaLinkUs) || math.IsInf(c.ReplicaLinkUs, 0) {
+		return fmt.Errorf("cluster: ReplicaLinkUs %v invalid", c.ReplicaLinkUs)
+	}
+	for _, v := range []float64{c.FailoverDelayMs, c.RereplicateMBps, c.MigrateMBps, c.DeadlineMs} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cluster: failover/copy/deadline knobs must be finite and non-negative")
+		}
+	}
+	seenFault := make([]bool, c.Arrays)
+	for _, f := range c.ArrayFaults {
+		if f.Array < 0 || f.Array >= c.Arrays {
+			return fmt.Errorf("cluster: ArrayFaults entry %d out of range [0,%d)", f.Array, c.Arrays)
+		}
+		if f.AtMs < 0 || f.DowntimeMs < 0 {
+			return fmt.Errorf("cluster: array %d fault times must be non-negative", f.Array)
+		}
+		if seenFault[f.Array] {
+			return fmt.Errorf("cluster: array %d has more than one whole-array fault", f.Array)
+		}
+		seenFault[f.Array] = true
+	}
+	for _, l := range c.LinkFaults {
+		if l.Array < 0 || l.Array >= c.Arrays {
+			return fmt.Errorf("cluster: LinkFaults entry %d out of range [0,%d)", l.Array, c.Arrays)
+		}
+	}
+	for _, m := range c.Migrations {
+		ti := -1
+		for i, t := range c.Tenants {
+			if t.Name == m.Tenant {
+				ti = i
+				break
+			}
+		}
+		if ti < 0 {
+			return fmt.Errorf("cluster: migration names unknown tenant %q", m.Tenant)
+		}
+		if m.Volume < 0 || m.Volume >= c.Tenants[ti].volumes() {
+			return fmt.Errorf("cluster: migration volume %s/%d out of range", m.Tenant, m.Volume)
+		}
+		if m.To < 0 || m.To >= c.Arrays {
+			return fmt.Errorf("cluster: migration target %d out of range [0,%d)", m.To, c.Arrays)
+		}
+		if m.AtMs < 0 {
+			return fmt.Errorf("cluster: migration %s/%d AtMs must be non-negative", m.Tenant, m.Volume)
+		}
+	}
+	if err := c.Chaos.validate(c.Arrays); err != nil {
+		return err
+	}
 	return c.Base.Validate()
 }
 
-// placedReq is one admitted request with its placement resolved.
+// placedReq is one admitted request resolved to its volume.
 type placedReq struct {
-	rec     trace.Record // Offset still tenant-relative
-	tenant  int
-	volKey  string
-	within  int64 // offset inside the volume
-	primary int
-	replica int
+	rec    trace.Record // Offset still tenant-relative
+	tenant int
+	vol    int   // global volume index (tenant-major order)
+	within int64 // offset inside the volume
 }
 
-// reqMeta rides alongside each shard-trace record so the per-request
-// observer can attribute the measurement back to a tenant.
+// reqMeta rides alongside each shard-trace record so the measurements can
+// be joined back to the admitted request (or background copy job) that
+// produced the leg.
 type reqMeta struct {
+	rid      int64 // admitted request index; -1 for background copy legs
+	job      int32 // copy job id; -1 outside copy windows
 	tenant   int32
 	write    bool
 	redirect bool
+	role     uint8
+	linkNs   int64 // one-way link latency this leg paid to arrive
 }
 
-// shardStats accumulates per-shard measurements inside the shard's own
-// goroutine; shards never share stats, and merging happens in array order
-// after the pool drains.
+// shardStats holds one shard's per-sequence settled latencies, filled by
+// the request observer inside the shard's own goroutine. All histogram
+// work happens later, in the deterministic join pass — the slots are
+// indexed by trace sequence, so the worker pool cannot reorder anything.
 type shardStats struct {
-	lat        metrics.Hist
-	readLat    metrics.Hist
-	tenantLat  []metrics.Hist
-	tenantRead []metrics.Hist
-	tenantRej  []int64
+	lat []int64 // -1 = rejected, -2 = never observed
 }
 
 // Run executes the fleet simulation and aggregates the results.
@@ -281,13 +402,18 @@ func Run(c Config) (*ClusterResults, error) {
 	if err != nil {
 		return nil, err
 	}
+	eff, err := c.resolve(admitted)
+	if err != nil {
+		return nil, err
+	}
 
 	var busy []busyTimeline
 	if c.Policy == PolicySteering {
-		// Profile pass: primary-only routing with busy recording. No
+		// Profile pass: routing without diversion, with busy recording. No
 		// tracers — this pass only yields the steering signal.
-		trs, metas, _ := c.buildShardTraces(admitted, capacity, nil, nil)
-		profile, _, err := c.runShards(trs, metas, true, nil)
+		profileRt := newRouter(&c, eff, capacity)
+		profileRt.route(admitted, nil, nil)
+		profile, _, err := c.runShards(profileRt.traces(), eff.plans, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -299,9 +425,11 @@ func Run(c Config) (*ClusterResults, error) {
 		}
 	}
 
-	// Routing pass (single-threaded): divert reads whose primary is busy
-	// at arrival to the replica, then build the final shard traces.
-	trs, metas, diverted := c.buildShardTraces(admitted, capacity, busy, routerTracer)
+	// Routing pass (single-threaded): sweep the admitted stream through
+	// the failure-domain state machine, diverting reads whose primary is
+	// busy at arrival when the replica can serve them correctly.
+	rt := newRouter(&c, eff, capacity)
+	rt.route(admitted, busy, routerTracer)
 
 	var bufs []*bytes.Buffer
 	if c.Trace != nil {
@@ -310,7 +438,7 @@ func Run(c Config) (*ClusterResults, error) {
 			bufs[i] = &bytes.Buffer{}
 		}
 	}
-	results, stats, err := c.runShards(trs, metas, true, bufs)
+	results, stats, err := c.runShards(rt.traces(), eff.plans, bufs)
 	if err != nil {
 		return nil, err
 	}
@@ -329,16 +457,19 @@ func Run(c Config) (*ClusterResults, error) {
 		}
 	}
 
-	return c.aggregate(int64(len(admitted)), shedPerTenant, diverted, metas, results, stats), nil
+	return c.aggregate(admitted, shedPerTenant, rt, results, stats), nil
 }
 
 // admit synthesizes every tenant's trace, merges them into one
-// time-ordered stream, resolves placement, and applies the per-tenant
-// admission budgets. Returns the admitted requests in arrival order and
-// the per-tenant shed counts; sheds are traced on tr.
+// time-ordered stream, resolves each request's volume, and applies the
+// per-tenant admission budgets. Returns the admitted requests in arrival
+// order and the per-tenant shed counts; sheds are traced on tr. Placement
+// is the router's job — it owns the live volume state.
 func (c Config) admit(capacity int64, tr *obs.Tracer) ([]placedReq, []int64, error) {
-	r := newRing(c.Arrays, c.vnodes())
-	volBytes := make([]int64, len(c.Tenants))
+	volBase := make([]int, len(c.Tenants))
+	for ti := 1; ti < len(c.Tenants); ti++ {
+		volBase[ti] = volBase[ti-1] + c.Tenants[ti-1].volumes()
+	}
 	var all []placedReq
 	for ti, t := range c.Tenants {
 		p, _ := workload.ByName(t.Profile)
@@ -351,31 +482,21 @@ func (c Config) admit(capacity int64, tr *obs.Tracer) ([]placedReq, []int64, err
 		if err != nil {
 			return nil, nil, fmt.Errorf("cluster: tenant %q: %w", t.Name, err)
 		}
-		volBytes[ti] = capacity / int64(t.volumes())
+		volBytes := capacity / int64(t.volumes())
 		for {
 			rec, ok := g.Next()
 			if !ok {
 				break
 			}
-			vol := rec.Offset / volBytes[ti]
+			vol := rec.Offset / volBytes
 			if vol >= int64(t.volumes()) {
 				vol = int64(t.volumes()) - 1
 			}
-			key := fmt.Sprintf("%s/%d", t.Name, vol)
-			primary, replica := r.lookup(key)
-			if a, ok := c.Directory[key]; ok {
-				primary = a
-				if replica == primary {
-					replica = (primary + 1) % c.Arrays
-				}
-			}
 			all = append(all, placedReq{
-				rec:     rec,
-				tenant:  ti,
-				volKey:  key,
-				within:  rec.Offset - vol*volBytes[ti],
-				primary: primary,
-				replica: replica,
+				rec:    rec,
+				tenant: ti,
+				vol:    volBase[ti] + int(vol),
+				within: rec.Offset - vol*volBytes,
 			})
 		}
 	}
@@ -423,48 +544,6 @@ func (c Config) admit(capacity int64, tr *obs.Tracer) ([]placedReq, []int64, err
 	return admitted, shed, nil
 }
 
-// buildShardTraces routes each admitted request to an array and lowers it
-// to an array-local trace record. With a non-nil busy slice (steering's
-// second pass) reads whose primary is busy at arrival divert to the
-// replica when the replica is quiet; tr emits the routing decisions. Runs
-// single-threaded, so the router trace and redirect flags are
-// deterministic by construction.
-func (c Config) buildShardTraces(admitted []placedReq, capacity int64, busy []busyTimeline, tr *obs.Tracer) ([]trace.Trace, [][]reqMeta, []int64) {
-	trs := make([]trace.Trace, c.Arrays)
-	metas := make([][]reqMeta, c.Arrays)
-	diverted := make([]int64, c.Arrays)
-	for _, pr := range admitted {
-		target := pr.primary
-		redirect := false
-		if busy != nil && !pr.rec.Write && pr.replica != pr.primary &&
-			busy[pr.primary].at(pr.rec.Timestamp) && !busy[pr.replica].at(pr.rec.Timestamp) {
-			target = pr.replica
-			redirect = true
-			diverted[pr.primary]++
-		}
-		if tr.Enabled() {
-			if redirect {
-				tr.Emit(pr.rec.Timestamp, obs.Event{Kind: obs.KClusterRedirect,
-					Dev: int32(target), Page: -1,
-					Aux: int64(pr.primary), Aux2: int64(len(trs[target]))})
-			} else {
-				tr.Emit(pr.rec.Timestamp, obs.Event{Kind: obs.KClusterPlace,
-					Dev: int32(target), Page: -1,
-					Aux: int64(pr.tenant), Aux2: int64(len(trs[target]))})
-			}
-		}
-		rec := pr.rec
-		rec.Offset = arrayOffset(pr.volKey, target, pr.within, capacity, capacity/int64(c.Tenants[pr.tenant].volumes()))
-		trs[target] = append(trs[target], rec)
-		metas[target] = append(metas[target], reqMeta{
-			tenant:   int32(pr.tenant),
-			write:    pr.rec.Write,
-			redirect: redirect,
-		})
-	}
-	return trs, metas, diverted
-}
-
 // arrayOffset maps a within-volume offset to an array-local byte offset.
 // Each (volume, array) pair gets its own page-aligned base derived by
 // hashing, so a volume's primary and replica copies live at independent
@@ -488,14 +567,10 @@ func arrayOffset(volKey string, array int, within, capacity, volBytes int64) int
 }
 
 // runShards replays every non-empty shard trace on the worker pool and
-// returns per-array results and stats slices indexed by array. Faulted
-// arrays replay under the fault plan. All cross-shard merging is left to
-// the caller; this function only guarantees slot isolation.
-func (c Config) runShards(trs []trace.Trace, metas [][]reqMeta, recordBusy bool, bufs []*bytes.Buffer) ([]*gcsteering.Results, []*shardStats, error) {
-	faulted := make([]bool, c.Arrays)
-	for _, a := range c.FaultArrays {
-		faulted[a] = true
-	}
+// returns per-array results and stats slices indexed by array. Each array
+// replays under its resolved fault plan. All cross-shard merging is left
+// to the caller; this function only guarantees slot isolation.
+func (c Config) runShards(trs []trace.Trace, plans []gcsteering.FaultPlan, bufs []*bytes.Buffer) ([]*gcsteering.Results, []*shardStats, error) {
 	results := make([]*gcsteering.Results, c.Arrays)
 	stats := make([]*shardStats, c.Arrays)
 	errs := make([]error, c.Arrays)
@@ -512,7 +587,7 @@ func (c Config) runShards(trs []trace.Trace, metas [][]reqMeta, recordBusy bool,
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				results[idx], stats[idx], errs[idx] = c.runShard(idx, trs[idx], metas[idx], recordBusy, faulted[idx], bufs)
+				results[idx], stats[idx], errs[idx] = c.runShard(idx, trs[idx], plans[idx], bufs)
 			}
 		}()
 	}
@@ -532,46 +607,35 @@ func (c Config) runShards(trs []trace.Trace, metas [][]reqMeta, recordBusy bool,
 
 // runShard builds and replays one array. Runs inside a pool worker; it
 // touches only its own slot data.
-func (c Config) runShard(idx int, tr trace.Trace, meta []reqMeta, recordBusy, faulted bool, bufs []*bytes.Buffer) (*gcsteering.Results, *shardStats, error) {
+func (c Config) runShard(idx int, tr trace.Trace, plan gcsteering.FaultPlan, bufs []*bytes.Buffer) (*gcsteering.Results, *shardStats, error) {
 	if len(tr) == 0 {
 		return nil, nil, nil // an array no volume landed on
 	}
 	cfg := c.Base
 	cfg.Seed = c.Base.Seed + c.Seed + int64(idx+1)*1_000_003
-	cfg.RecordBusy = recordBusy
+	cfg.RecordBusy = true
 	cfg.Trace = nil
 	if bufs != nil {
 		cfg.Trace = gcsteering.NewTracer(bufs[idx])
 	}
-	if faulted {
-		cfg.Fault = c.Fault
-	} else {
-		cfg.Fault = gcsteering.FaultPlan{}
-	}
+	cfg.Fault = plan
 	sys, err := gcsteering.New(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &shardStats{
-		tenantLat:  make([]metrics.Hist, len(c.Tenants)),
-		tenantRead: make([]metrics.Hist, len(c.Tenants)),
-		tenantRej:  make([]int64, len(c.Tenants)),
+	st := &shardStats{lat: make([]int64, len(tr))}
+	for i := range st.lat {
+		st.lat[i] = -2
 	}
 	sys.ObserveRequests(func(seq int64, latNs int64, rejected bool) {
-		m := meta[seq]
 		if rejected {
-			st.tenantRej[m.tenant]++
+			st.lat[seq] = -1
 			return
 		}
-		st.lat.Observe(latNs)
-		st.tenantLat[m.tenant].Observe(latNs)
-		if !m.write {
-			st.readLat.Observe(latNs)
-			st.tenantRead[m.tenant].Observe(latNs)
-		}
+		st.lat[seq] = latNs
 	})
 	var r *gcsteering.Results
-	if faulted && c.Fault.Enabled() {
+	if plan.Enabled() {
 		r, err = sys.ReplayWithFaults(tr)
 	} else {
 		r, err = sys.Replay(tr)

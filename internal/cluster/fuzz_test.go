@@ -1,0 +1,44 @@
+package cluster
+
+import "testing"
+
+// FuzzRingPlacement checks the consistent-hashing stability property the
+// Directory tier and failover spare selection both rely on: growing the
+// fleet by one array may only move keys onto the new array — any key whose
+// primary AND replica avoid the newcomer must keep its old placement
+// exactly. (Shrinking is the same statement read backwards: the n-array
+// ring is the n+1-array ring with the last array removed.)
+func FuzzRingPlacement(f *testing.F) {
+	f.Add(4, "tenant-a/0")
+	f.Add(8, "pinned/1")
+	f.Add(2, "")
+	f.Add(16, "burst/1337")
+	f.Fuzz(func(t *testing.T, arrays int, key string) {
+		if arrays < 0 {
+			arrays = -arrays
+		}
+		arrays = 2 + arrays%31 // 2..32 arrays before growth
+		small := newRing(arrays, 64)
+		grown := newRing(arrays+1, 64)
+
+		p1, r1 := small.lookup(key)
+		p2, r2 := grown.lookup(key)
+		if p2 != arrays && r2 != arrays {
+			if p2 != p1 || r2 != r1 {
+				t.Fatalf("adding array %d moved %q: (%d,%d) -> (%d,%d)",
+					arrays, key, p1, r1, p2, r2)
+			}
+		}
+		if p2 == r2 {
+			t.Fatalf("replica co-located with primary for %q on %d arrays", key, arrays+1)
+		}
+		// replicaExcluding must agree with lookup when only the primary is
+		// excluded, and never return an excluded array.
+		if got := small.replicaExcluding(key, p1); got != r1 {
+			t.Fatalf("replicaExcluding(%q, %d) = %d, lookup replica %d", key, p1, got, r1)
+		}
+		if spare := small.replicaExcluding(key, p1, r1); arrays > 2 && (spare == p1 || spare == r1) {
+			t.Fatalf("spare %d collides with placement (%d,%d)", spare, p1, r1)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestMigrationCutover(t *testing.T) {
+	c := Config{
+		Arrays:    4,
+		Policy:    PolicyHash,
+		Workers:   2,
+		Base:      tinyBase(),
+		Tenants:   []Tenant{{Name: "mig", Profile: "hm_0", Requests: 300}},
+		Directory: map[string]int{"mig/0": 0},
+		// The hm_0 workload spans ~580 ms; start the copy at 100 ms and pace
+		// it so the cutover lands mid-workload (~85 MB at 400 MB/s ≈ 215 ms).
+		Migrations:  []Migration{{Tenant: "mig", Volume: 0, To: 2, AtMs: 100}},
+		MigrateMBps: 400,
+	}
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, r)
+	if len(r.Migrations) != 1 {
+		t.Fatalf("migrations: %v", r.Migrations)
+	}
+	m := r.Migrations[0]
+	if m.Volume != "mig/0" || m.From != 0 || m.To != 2 {
+		t.Fatalf("migration event: %+v", m)
+	}
+	if m.CutoverMs <= m.StartMs {
+		t.Fatalf("cutover %.1fms not after start %.1fms", m.CutoverMs, m.StartMs)
+	}
+	if m.CopiedBytes == 0 || m.CopyMs <= 0 {
+		t.Fatalf("copy not measured: %+v", m)
+	}
+	// In-flight correctness at cutover: nothing fails, nothing is lost —
+	// requests routed before the flip complete on the old array, later ones
+	// serve from the destination.
+	if r.Failed != 0 || r.DataLossEvents != 0 {
+		t.Fatalf("migration failed requests: failed=%d loss=%d", r.Failed, r.DataLossEvents)
+	}
+	if r.PerArray[0].Requests == 0 {
+		t.Fatal("source array served nothing before the cutover")
+	}
+	if r.PerArray[2].Requests == 0 {
+		t.Fatal("destination array served nothing after the cutover")
+	}
+	if r.PerArray[2].CopyWrites == 0 {
+		t.Fatal("destination saw no copy/mirror writes")
+	}
+	if got := r.PerArray[0].Requests + r.PerArray[2].Requests + r.Failed; got != r.Requests {
+		t.Fatalf("requests leaked to other arrays: %d + failed != %d", got, r.Requests)
+	}
+}
+
+func TestMigrationSkippedWhenTargetDown(t *testing.T) {
+	c := Config{
+		Arrays:          4,
+		Policy:          PolicyHash,
+		Workers:         1,
+		Base:            tinyBase(),
+		Tenants:         []Tenant{{Name: "mig", Profile: "hm_0", Requests: 150}},
+		Directory:       map[string]int{"mig/0": 0},
+		ReplicateWrites: true,
+		ArrayFaults:     []ArrayFault{{Array: 2, AtMs: 500}}, // permanent
+		Migrations:      []Migration{{Tenant: "mig", Volume: 0, To: 2, AtMs: 1000}},
+	}
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Migrations) != 0 {
+		t.Fatalf("migration onto a down array was not skipped: %v", r.Migrations)
+	}
+}
+
+func TestMigrationValidation(t *testing.T) {
+	base := tinyBase()
+	good := Config{
+		Arrays:  4,
+		Base:    base,
+		Tenants: []Tenant{{Name: "a", Profile: "Fin1", Requests: 10, Volumes: 2}},
+	}
+	for _, tc := range []struct {
+		name string
+		m    Migration
+	}{
+		{"unknown tenant", Migration{Tenant: "nope", Volume: 0, To: 1}},
+		{"volume range", Migration{Tenant: "a", Volume: 2, To: 1}},
+		{"target range", Migration{Tenant: "a", Volume: 0, To: 4}},
+		{"negative time", Migration{Tenant: "a", Volume: 0, To: 1, AtMs: -1}},
+	} {
+		c := good
+		c.Migrations = []Migration{tc.m}
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+}

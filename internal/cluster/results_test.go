@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestAggregateZeroRequestArray pins the merge path for arrays no request
+// ever reached: one volume pinned to one array leaves the rest of the
+// fleet idle, and the aggregation must neither divide by zero nor drop
+// tenant or array rows.
+func TestAggregateZeroRequestArray(t *testing.T) {
+	c := Config{
+		Arrays:    4,
+		Policy:    PolicyHash,
+		Workers:   2,
+		Base:      tinyBase(),
+		Tenants:   []Tenant{{Name: "solo", Profile: "Fin1", Requests: 100}},
+		Directory: map[string]int{"solo/0": 1},
+	}
+	r, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, r)
+	if r.Requests == 0 {
+		t.Fatal("no requests admitted")
+	}
+	if len(r.PerArray) != 4 {
+		t.Fatalf("per-array rows: %d", len(r.PerArray))
+	}
+	if len(r.Tenants) != 1 || r.Tenants[0].Name != "solo" {
+		t.Fatalf("tenant rows dropped: %+v", r.Tenants)
+	}
+	if r.Tenants[0].Requests != r.Requests {
+		t.Fatalf("tenant requests %d != admitted %d", r.Tenants[0].Requests, r.Requests)
+	}
+	if math.IsNaN(r.Availability) || r.Availability < 0 || r.Availability > 1 {
+		t.Fatalf("availability %v", r.Availability)
+	}
+	for a, ar := range r.PerArray {
+		if a == 1 {
+			if ar.Requests == 0 {
+				t.Fatal("pinned array served nothing")
+			}
+			continue
+		}
+		if ar.Requests != 0 || ar.Latency.Count != 0 {
+			t.Fatalf("idle array %d reported traffic: %+v", a, ar)
+		}
+	}
+	// The report must still render every row.
+	s := r.String()
+	for _, want := range []string{"array 0", "array 3", "tenant solo"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}

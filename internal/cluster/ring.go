@@ -90,3 +90,36 @@ func (r *ring) lookup(key string) (primary, replica int) {
 	}
 	return primary, replica
 }
+
+// replicaExcluding walks the ring clockwise from the key's position and
+// returns the first array not in avoid. It is the replica rule the
+// Directory-override and spare-selection paths share: a pinned volume's
+// replica is still the array the ring walk reaches first (so replica
+// placement keeps the ring's failure independence instead of the pinned
+// primary's numeric neighbor), and a crashed array's replacement replica is
+// the next ring arc past both live copies. With every array avoided (or an
+// empty ring) it degrades to the key's clockwise successor.
+func (r *ring) replicaExcluding(key string, avoid ...int) int {
+	if len(r.points) == 0 {
+		return 0
+	}
+	h := fnv64(key)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	for k := 0; k <= len(r.points); k++ {
+		a := r.points[(i+k)%len(r.points)].array
+		excluded := false
+		for _, x := range avoid {
+			if a == x {
+				excluded = true
+				break
+			}
+		}
+		if !excluded {
+			return a
+		}
+	}
+	return r.points[i].array
+}

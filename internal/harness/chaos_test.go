@@ -1,0 +1,56 @@
+package harness
+
+import "testing"
+
+func TestChaosGridShapeAndReliability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet grid")
+	}
+	g, err := Chaos(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Workloads) != 3 || len(g.Variants) != 2 {
+		t.Fatalf("grid shape %dx%d", len(g.Workloads), len(g.Variants))
+	}
+	for _, w := range g.Workloads {
+		for _, v := range g.Variants {
+			if g.Mean[Cell{w, v}] <= 0 {
+				t.Fatalf("missing cell %s/%s", w, v)
+			}
+		}
+	}
+	avail := g.Aux["availability"]
+	loss := g.Aux["data-loss reads"]
+	repl := g.Aux["replicated writes"]
+	for _, w := range g.Workloads {
+		off, on := Cell{w, "no-repl"}, Cell{w, "replicated"}
+		// The reliability acceptance criteria: replication never loses
+		// data under a single-array crash and never lowers the fraction
+		// of requests answered, while the unreplicated permanent crash
+		// demonstrably loses reads.
+		if loss[on] != 0 {
+			t.Fatalf("%s: replicated fleet lost %v reads", w, loss[on])
+		}
+		if repl[off] != 0 {
+			t.Fatalf("%s: no-repl cell replicated %v writes", w, repl[off])
+		}
+		if repl[on] == 0 {
+			t.Fatalf("%s: replicated cell replicated nothing", w)
+		}
+		if avail[on] <= 0 || avail[on] > 1 || avail[off] <= 0 || avail[off] > 1 {
+			t.Fatalf("%s: availability out of range: %v vs %v", w, avail[off], avail[on])
+		}
+	}
+	if loss[Cell{"perm-crash", "no-repl"}] == 0 {
+		t.Fatal("unreplicated permanent crash lost no reads")
+	}
+	// Failover and re-replication must be measured on the replicated
+	// permanent crash.
+	if g.Aux["failover (ms)"][Cell{"perm-crash", "replicated"}] <= 0 {
+		t.Fatal("failover time not measured")
+	}
+	if g.Aux["re-replication (ms)"][Cell{"perm-crash", "replicated"}] <= 0 {
+		t.Fatal("re-replication time not measured")
+	}
+}

@@ -115,6 +115,50 @@ func TestClusterDeterministicAcrossShardWorkers(t *testing.T) {
 	}
 }
 
+// TestChaosDeterministicAcrossShardWorkers extends the fleet determinism
+// contract to the failure-domain machinery: replication barriers, a chaos
+// plan (crash + link slowdown + GC storm), failover, and re-replication
+// all live in the offline router, so the shard worker count must still be
+// pure parallelism — byte-identical results and traces at 1, 2, and 8
+// workers.
+func TestChaosDeterministicAcrossShardWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet simulation")
+	}
+	o := tinyOptions()
+	o.MaxRequests = 1600
+	sc := chaosScenarios()[2] // chaos-storm: crash + link slowdown + GC storm
+	run := func(workers int) (*cluster.ClusterResults, []byte) {
+		c := chaosConfig(o, sc, true)
+		c.Workers = workers
+		var buf bytes.Buffer
+		c.Trace = &buf
+		r, err := cluster.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, buf.Bytes()
+	}
+	baseRes, baseTrace := run(1)
+	if len(baseTrace) == 0 {
+		t.Fatal("no trace emitted")
+	}
+	if len(baseRes.Failures) == 0 {
+		t.Fatal("chaos scenario compiled no crash")
+	}
+	for _, workers := range []int{2, 8} {
+		res, tr := run(workers)
+		if !reflect.DeepEqual(baseRes, res) {
+			t.Errorf("chaos ClusterResults differ between 1 and %d workers:\n1: %s\n%d: %s",
+				workers, baseRes, workers, res)
+		}
+		if !bytes.Equal(baseTrace, tr) {
+			t.Errorf("chaos traces differ between 1 and %d workers (%d vs %d bytes)",
+				workers, len(baseTrace), len(tr))
+		}
+	}
+}
+
 // TestRobustZeroCostWhenHealthy asserts the robustness knobs' core promise:
 // with no fault injected, enabling the health monitor, bounded retries, and
 // admission control reproduces the baseline run byte-identically. The

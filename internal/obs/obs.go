@@ -172,6 +172,34 @@ const (
 	// KClusterShed is a request dropped by a tenant's admission budget.
 	// aux = tenant index, aux2 = request sequence.
 	KClusterShed
+	// KClusterReplicate is a write's synchronous replica leg enqueued on
+	// the replica array. dev = replica array, aux = primary array,
+	// aux2 = request sequence.
+	KClusterReplicate
+	// KClusterArrayDown is a whole-array crash at the routing tier.
+	// dev = array, aux = 1 when the crash is permanent, 0 when timed.
+	KClusterArrayDown
+	// KClusterFailover is the Directory repinning a crashed array's
+	// volumes to their replicas. dev = crashed array, aux = volumes
+	// repinned, aux2 = detection delay (ns) since the crash.
+	KClusterFailover
+	// KClusterArrayUp is a crashed array recovering. dev = array.
+	KClusterArrayUp
+	// KClusterCopyStart begins a background copy job (volume migration or
+	// re-replication). dev = destination array, aux = source array,
+	// aux2 = bytes to copy. note = volume key.
+	KClusterCopyStart
+	// KClusterCutover flips a volume's placement after its copy job
+	// drains. dev = destination array, aux = source array, aux2 = 0 for a
+	// migration, 1 for re-replication. note = volume key.
+	KClusterCutover
+	// KClusterFailedReq is a request failed because its serving array is
+	// down. dev = down array, aux = tenant index, aux2 = request sequence.
+	KClusterFailedReq
+	// KClusterDataLoss is a read with no live up-to-date copy — the
+	// cluster lost data it had acknowledged. dev = down array,
+	// aux = tenant index, aux2 = request sequence.
+	KClusterDataLoss
 
 	kindCount
 )
@@ -217,6 +245,14 @@ var kindNames = [kindCount]string{
 	KClusterPlace:     "cluster-place",
 	KClusterRedirect:  "cluster-redirect",
 	KClusterShed:      "cluster-shed",
+	KClusterReplicate: "cluster-replicate",
+	KClusterArrayDown: "cluster-array-down",
+	KClusterFailover:  "cluster-failover",
+	KClusterArrayUp:   "cluster-array-up",
+	KClusterCopyStart: "cluster-copy-start",
+	KClusterCutover:   "cluster-cutover",
+	KClusterFailedReq: "cluster-failed",
+	KClusterDataLoss:  "cluster-data-loss",
 }
 
 // String returns the kind's wire name.

@@ -14,6 +14,15 @@ import (
 	"gcsteering/internal/sim"
 )
 
+// PaceInterval returns the gap between unit-sized transfers that holds a
+// background copy stream to a bandwidth cap: unitBytes at mbps MB/s. It is
+// the pacing model of the stripe-sequential rebuild below, shared with the
+// cluster layer's re-replication and volume-migration copy jobs so every
+// bandwidth-capped background stream in the simulator paces identically.
+func PaceInterval(unitBytes int, mbps float64) sim.Time {
+	return sim.Time(float64(unitBytes) / (mbps * 1e6) * float64(sim.Second))
+}
+
 // must panics on an I/O error from a member disk: rebuild ranges are
 // derived from the validated layout and checked sink geometry, so an error
 // here is an internal invariant violation, not bad input.
@@ -155,8 +164,7 @@ func New(eng *sim.Engine, arr *raid.Array, sink Sink, bandwidthMBps float64, pag
 		return nil, fmt.Errorf("rebuild: bandwidth %v must be positive", bandwidthMBps)
 	}
 	lay := arr.Layout()
-	unitBytes := float64(lay.UnitPages * pageSize)
-	interval := sim.Time(unitBytes / (bandwidthMBps * 1e6) * float64(sim.Second))
+	interval := PaceInterval(lay.UnitPages*pageSize, bandwidthMBps)
 	return &Rebuilder{
 		eng:      eng,
 		arr:      arr,

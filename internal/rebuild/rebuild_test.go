@@ -223,3 +223,18 @@ func TestStartIsIdempotent(t *testing.T) {
 		t.Fatalf("units %d", rb.Stats().UnitsRebuilt)
 	}
 }
+
+// TestPaceInterval pins the shared background-copy pacing model: the gap
+// between unit transfers must hold the stream exactly at the cap.
+func TestPaceInterval(t *testing.T) {
+	// 1 MB at 100 MB/s = 10 ms between transfers.
+	if got, want := PaceInterval(1_000_000, 100), 10*sim.Millisecond; got != want {
+		t.Fatalf("PaceInterval(1MB, 100MB/s) = %v, want %v", got, want)
+	}
+	// 256 KiB at 10 MB/s (the paper's MD cap) ≈ 26.2 ms.
+	got := PaceInterval(256<<10, 10)
+	want := sim.Time(float64(256<<10) / 10e6 * float64(sim.Second))
+	if got != want {
+		t.Fatalf("PaceInterval(256KiB, 10MB/s) = %v, want %v", got, want)
+	}
+}
