@@ -13,8 +13,11 @@
 // (the fail-slow tolerance grid: health quarantine and hedged reads under
 // a sustained member slowdown with transient read errors), cluster (the
 // fleet grid: many arrays and tenants behind consistent-hash placement,
-// hash-only vs GC/rebuild-aware routing), all. Run with -list-experiments
-// to print the registry.
+// hash-only vs GC/rebuild-aware routing), chaos (the failure-domain grid:
+// whole-array crashes under a seeded chaos plan, unreplicated vs
+// replicated writes), crashconsist (the crash-consistency grid: power loss
+// mid-write with torn pages, intent journal vs full-scrub remount), all.
+// Run with -list-experiments to print the registry.
 //
 // -json <path> additionally writes the machine-readable results of the run
 // (every grid's full metric tables) to the given file.
@@ -73,27 +76,28 @@ type jsonDoc struct {
 // allExperiments is the -experiment all sequence.
 var allExperiments = []string{"table1", "fig1", "fig2", "fig7a", "fig8",
 	"fig9", "fig10", "fig11", "raid6", "endurance", "faults", "scrub",
-	"failslow", "cluster", "chaos"}
+	"failslow", "cluster", "chaos", "crashconsist"}
 
 // experimentBlurbs describes each entry of allExperiments for
 // -list-experiments (aliases like fig7b resolve to the same runs and are
 // not listed separately).
 var experimentBlurbs = map[string]string{
-	"table1":    "synthetic workload generator check against the paper's Table I",
-	"fig1":      "performance-variability timeline per GC scheme",
-	"fig2":      "GC duty cycle and episode statistics",
-	"fig7a":     "mean response time per scheme (fig7b/fig7 alias: GC counts)",
-	"fig8":      "array-size sweep",
-	"fig9":      "stripe-unit sweep",
-	"fig10":     "staging configuration comparison (reserved vs dedicated)",
-	"fig11":     "response time and rebuild duration during reconstruction",
-	"raid6":     "RAID6 extension of the main comparison",
-	"endurance": "per-scheme flash wear (erases, write amplification)",
-	"faults":    "reliability grid: failures, rebuilds, window of vulnerability",
-	"scrub":     "self-healing grid: patrol scrub and hedged reads vs seeded defects",
-	"failslow":  "fail-slow grid: health quarantine, retries, hedged reads vs a slow member",
-	"cluster":   "fleet grid: 8 arrays × 16 tenants, hash-only vs GC/rebuild-aware routing",
-	"chaos":     "failure-domain grid: whole-array crashes and chaos, unreplicated vs replicated writes",
+	"table1":       "synthetic workload generator check against the paper's Table I",
+	"fig1":         "performance-variability timeline per GC scheme",
+	"fig2":         "GC duty cycle and episode statistics",
+	"fig7a":        "mean response time per scheme (fig7b/fig7 alias: GC counts)",
+	"fig8":         "array-size sweep",
+	"fig9":         "stripe-unit sweep",
+	"fig10":        "staging configuration comparison (reserved vs dedicated)",
+	"fig11":        "response time and rebuild duration during reconstruction",
+	"raid6":        "RAID6 extension of the main comparison",
+	"endurance":    "per-scheme flash wear (erases, write amplification)",
+	"faults":       "reliability grid: failures, rebuilds, window of vulnerability",
+	"scrub":        "self-healing grid: patrol scrub and hedged reads vs seeded defects",
+	"failslow":     "fail-slow grid: health quarantine, retries, hedged reads vs a slow member",
+	"cluster":      "fleet grid: 8 arrays × 16 tenants, hash-only vs GC/rebuild-aware routing",
+	"chaos":        "failure-domain grid: whole-array crashes and chaos, unreplicated vs replicated writes",
+	"crashconsist": "crash-consistency grid: power loss mid-write, intent journal vs full-scrub remount",
 }
 
 func main() {
@@ -107,7 +111,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gcsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|cluster|chaos|all")
+		experiment = fs.String("experiment", "all", "which experiment to run: table1|fig1|fig2|fig7a|fig7b|fig8|fig9|fig10|fig11|raid6|endurance|faults|scrub|failslow|cluster|chaos|crashconsist|all")
 		listExps   = fs.Bool("list-experiments", false, "print the experiment registry and exit")
 		requests   = fs.Int("requests", 8000, "requests per workload (scaled-down replay of the Table I traces)")
 		workers    = fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
@@ -227,7 +231,7 @@ func knownExperiment(name string) bool {
 	switch name {
 	case "fig1", "endurance", "table1", "fig2", "fig7a", "fig7b", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "raid6", "faults", "scrub",
-		"failslow", "cluster", "chaos":
+		"failslow", "cluster", "chaos", "crashconsist":
 		return true
 	}
 	return false
@@ -296,6 +300,9 @@ func runOne(name string, o harness.Options, stdout io.Writer) (experimentOut, er
 	case "chaos":
 		g, e := harness.Chaos(o)
 		err = grid(g, e, "no-repl")
+	case "crashconsist":
+		g, e := harness.CrashConsist(o)
+		err = grid(g, e, "")
 	default:
 		err = fmt.Errorf("unknown experiment %q", name)
 	}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gcsteering/internal/trace"
@@ -18,28 +19,43 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses argv, writes the trace to
+// -out (stdout by default) and the summary line to stderr, and returns the
+// process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name     = flag.String("workload", "Fin1", "Table I workload name")
-		requests = flag.Int("requests", 100000, "number of requests to emit (0 = the full published count)")
-		capGB    = flag.Float64("capacity-gb", 4, "target volume capacity in GiB")
-		format   = flag.String("format", "msr", "output format: msr | spc")
-		out      = flag.String("out", "-", "output file (- = stdout)")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		list     = flag.Bool("list", false, "list available workloads and exit")
+		name     = fs.String("workload", "Fin1", "Table I workload name")
+		requests = fs.Int("requests", 100000, "number of requests to emit (0 = the full published count)")
+		capGB    = fs.Float64("capacity-gb", 4, "target volume capacity in GiB")
+		format   = fs.String("format", "msr", "output format: msr | spc")
+		out      = fs.String("out", "-", "output file (- = stdout)")
+		seed     = fs.Int64("seed", 1, "generation seed")
+		list     = fs.Bool("list", false, "list available workloads and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	fail := func(f string, args ...any) int {
+		fmt.Fprintf(stderr, "tracegen: "+f+"\n", args...)
+		return 1
+	}
 
 	if *list {
-		fmt.Println("workload   read%   requests    avg KB")
+		fmt.Fprintln(stdout, "workload   read%   requests    avg KB")
 		for _, p := range workload.All() {
-			fmt.Printf("%-9s %5.1f%%  %10d  %8.1f\n", p.Name, 100*p.ReadRatio, p.Requests, p.AvgReqKB)
+			fmt.Fprintf(stdout, "%-9s %5.1f%%  %10d  %8.1f\n", p.Name, 100*p.ReadRatio, p.Requests, p.AvgReqKB)
 		}
-		return
+		return 0
 	}
 
 	p, ok := workload.ByName(*name)
 	if !ok {
-		fatalf("unknown workload %q; try -list", *name)
+		return fail("unknown workload %q; try -list", *name)
 	}
 	tr, err := workload.Generate(p, workload.Options{
 		Capacity:    int64(*capGB * float64(1<<30)),
@@ -47,14 +63,14 @@ func main() {
 		Seed:        *seed,
 	})
 	if err != nil {
-		fatalf("generate: %v", err)
+		return fail("generate: %v", err)
 	}
 
-	w := os.Stdout
+	w := stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("create: %v", err)
+			return fail("create: %v", err)
 		}
 		defer f.Close()
 		w = f
@@ -65,17 +81,13 @@ func main() {
 	case "spc":
 		err = trace.WriteSPC(w, tr)
 	default:
-		fatalf("unknown format %q (msr|spc)", *format)
+		return fail("unknown format %q (msr|spc)", *format)
 	}
 	if err != nil {
-		fatalf("write: %v", err)
+		return fail("write: %v", err)
 	}
 	s := trace.ComputeStats(tr)
-	fmt.Fprintf(os.Stderr, "tracegen: %s: %d requests, %.1f%% reads, avg %.1f KB, %.1fs span\n",
+	fmt.Fprintf(stderr, "tracegen: %s: %d requests, %.1f%% reads, avg %.1f KB, %.1fs span\n",
 		p.Name, s.Requests, 100*s.ReadRatio, s.AvgSizeKB, s.Duration.Seconds())
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -10,25 +10,40 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"gcsteering/internal/trace"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: it parses argv, writes the report to
+// stdout and diagnostics to stderr, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("traceinfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		format    = flag.String("format", "msr", "input format: msr | spc")
-		pageSize  = flag.Int("page-size", 4096, "page size for the Fig. 2 classification")
-		threshold = flag.Float64("threshold", 0.9, "RI/WI classification threshold (paper: 0.9)")
+		format    = fs.String("format", "msr", "input format: msr | spc")
+		pageSize  = fs.Int("page-size", 4096, "page size for the Fig. 2 classification")
+		threshold = fs.Float64("threshold", 0.9, "RI/WI classification threshold (paper: 0.9)")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinfo [-format msr|spc] <trace-file>")
-		os.Exit(2)
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	f, err := os.Open(flag.Arg(0))
+	fail := func(f string, args ...any) int {
+		fmt.Fprintf(stderr, "traceinfo: "+f+"\n", args...)
+		return 1
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: traceinfo [-format msr|spc] <trace-file>")
+		return 2
+	}
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fatalf("%v", err)
+		return fail("%v", err)
 	}
 	defer f.Close()
 
@@ -39,31 +54,27 @@ func main() {
 	case "spc":
 		tr, err = trace.ParseSPC(f)
 	default:
-		fatalf("unknown format %q (msr|spc)", *format)
+		return fail("unknown format %q (msr|spc)", *format)
 	}
 	if err != nil {
-		fatalf("parse: %v", err)
+		return fail("parse: %v", err)
 	}
 
 	s := trace.ComputeStats(tr)
-	fmt.Printf("Trace characteristics (Table I columns)\n")
-	fmt.Printf("  requests:      %d\n", s.Requests)
-	fmt.Printf("  read ratio:    %.1f%%\n", 100*s.ReadRatio)
-	fmt.Printf("  avg req size:  %.1f KB\n", s.AvgSizeKB)
-	fmt.Printf("  span:          %v\n", s.Duration)
-	fmt.Printf("  footprint:     %.2f GiB (max offset)\n", float64(s.MaxOffset)/float64(1<<30))
+	fmt.Fprintf(stdout, "Trace characteristics (Table I columns)\n")
+	fmt.Fprintf(stdout, "  requests:      %d\n", s.Requests)
+	fmt.Fprintf(stdout, "  read ratio:    %.1f%%\n", 100*s.ReadRatio)
+	fmt.Fprintf(stdout, "  avg req size:  %.1f KB\n", s.AvgSizeKB)
+	fmt.Fprintf(stdout, "  span:          %v\n", s.Duration)
+	fmt.Fprintf(stdout, "  footprint:     %.2f GiB (max offset)\n", float64(s.MaxOffset)/float64(1<<30))
 
 	c := trace.ClassifyPages(tr, *pageSize, *threshold)
-	fmt.Printf("\nPage classification at %d B pages, threshold %.0f%% (Figure 2)\n", *pageSize, 100**threshold)
-	fmt.Printf("  pages:   RI=%d  WI=%d  MIX=%d\n",
+	fmt.Fprintf(stdout, "\nPage classification at %d B pages, threshold %.0f%% (Figure 2)\n", *pageSize, 100**threshold)
+	fmt.Fprintf(stdout, "  pages:   RI=%d  WI=%d  MIX=%d\n",
 		c.Pages[trace.ClassRI], c.Pages[trace.ClassWI], c.Pages[trace.ClassMIX])
-	fmt.Printf("  reads:   RI=%.1f%%  MIX=%.1f%%  WI=%.1f%%\n",
+	fmt.Fprintf(stdout, "  reads:   RI=%.1f%%  MIX=%.1f%%  WI=%.1f%%\n",
 		100*c.ReadShare(trace.ClassRI), 100*c.ReadShare(trace.ClassMIX), 100*c.ReadShare(trace.ClassWI))
-	fmt.Printf("  writes:  WI=%.1f%%  MIX=%.1f%%  RI=%.1f%%\n",
+	fmt.Fprintf(stdout, "  writes:  WI=%.1f%%  MIX=%.1f%%  RI=%.1f%%\n",
 		100*c.WriteShare(trace.ClassWI), 100*c.WriteShare(trace.ClassMIX), 100*c.WriteShare(trace.ClassRI))
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "traceinfo: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gcsteering/internal/trace"
+	"gcsteering/internal/workload"
+)
+
+// writeTrace synthesizes a small workload and writes it in the given
+// format, returning the file path.
+func writeTrace(t *testing.T, format string, reqs int) string {
+	t.Helper()
+	p, ok := workload.ByName("Fin1")
+	if !ok {
+		t.Fatal("Fin1 profile missing")
+	}
+	tr, err := workload.Generate(p, workload.Options{Capacity: 1 << 28, MaxRequests: reqs, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	switch format {
+	case "msr":
+		err = trace.WriteMSR(f, tr)
+	case "spc":
+		err = trace.WriteSPC(f, tr)
+	default:
+		t.Fatalf("unknown format %s", format)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportMSR(t *testing.T) {
+	path := writeTrace(t, "msr", 300)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "msr", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	rep := out.String()
+	if !strings.Contains(rep, "requests:      300") {
+		t.Errorf("report missing request count:\n%s", rep)
+	}
+	for _, want := range []string{"read ratio:", "avg req size:", "Page classification", "RI="} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestReportSPC(t *testing.T) {
+	path := writeTrace(t, "spc", 120)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "spc", path}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "requests:      120") {
+		t.Errorf("SPC report missing request count:\n%s", out.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	path := writeTrace(t, "msr", 10)
+	cases := [][]string{
+		{},                            // missing file
+		{"/does/not/exist.csv"},       // unreadable file
+		{"-format", "tsv", path},      // unknown format
+		{"-format", "spc", path},      // MSR bytes fed to the SPC parser
+		{"-badflag", path},            // flag error
+		{"-format", "msr", path, "x"}, // extra positional
+	}
+	for _, argv := range cases {
+		var out, errb bytes.Buffer
+		if code := run(argv, &out, &errb); code == 0 {
+			t.Errorf("argv %v: want non-zero exit", argv)
+		}
+	}
+}

@@ -229,6 +229,26 @@ type Config struct {
 	// Fault configures deterministic fault injection, executed only by
 	// System.ReplayWithFaults. The zero value injects nothing.
 	Fault FaultPlan
+
+	// PowerLossAtMs, when > 0, cuts the whole array's power at this instant
+	// of simulated time: in-flight page programs tear (persisting garbage
+	// that fails its CRC32-C), in-flight requests are lost, and the run
+	// continues on a remounted array that must resync before (journal on)
+	// or while (journal off) serving the rest of the trace. Executed only by
+	// ReplayWithPowerLoss; <= 0 leaves every other entry point untouched so
+	// default runs stay byte-identical.
+	PowerLossAtMs float64
+	// IntentJournal arms the write-ahead dirty-stripe intent journal for
+	// power-loss runs: stripes are marked dirty before the write fan-out and
+	// cleared at the stripe barrier, so the post-crash resync walks only the
+	// stripes that were actually open at the cut. Off, the remount must
+	// full-scrub the array to find torn stripes — the window of
+	// vulnerability the journal closes. Only consulted when PowerLossAtMs is
+	// set.
+	IntentJournal bool
+	// ResyncMBps caps the post-crash resync read bandwidth (MB/s). <= 0
+	// defaults to 200 during power-loss runs and is ignored otherwise.
+	ResyncMBps float64
 }
 
 // DiskFault schedules one whole-device failure for fault-injected runs.
@@ -396,6 +416,15 @@ func (c Config) Validate() error {
 	}
 	if c.HedgedReads && c.Level != RAID5 && c.Level != RAID6 {
 		return fmt.Errorf("gcsteering: HedgedReads needs RAID5/6 parity (level %v)", c.Level)
+	}
+	if math.IsNaN(c.PowerLossAtMs) || math.IsInf(c.PowerLossAtMs, 0) {
+		return fmt.Errorf("gcsteering: PowerLossAtMs %v not finite", c.PowerLossAtMs)
+	}
+	if math.IsNaN(c.ResyncMBps) || math.IsInf(c.ResyncMBps, 0) {
+		return fmt.Errorf("gcsteering: ResyncMBps %v not finite", c.ResyncMBps)
+	}
+	if c.PowerLossAtMs > 0 && c.Level != RAID5 && c.Level != RAID6 {
+		return fmt.Errorf("gcsteering: PowerLossAtMs needs RAID5/6 parity (level %v)", c.Level)
 	}
 	if err := c.Flash.Validate(); err != nil {
 		return err

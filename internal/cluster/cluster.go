@@ -198,6 +198,18 @@ type Config struct {
 	MigrateMBps float64
 	// LinkFaults degrade the replication link into specific arrays.
 	LinkFaults []LinkSlowdown
+	// ResyncMBps models the crash-consistency resync a recovering array
+	// must run before serving again: a timed-crash array stays down past
+	// its nominal recovery instant for resyncBytes / ResyncMBps, where the
+	// scope depends on IntentJournal. <= 0 disables the modeled resync —
+	// the pre-crash-consistency behavior, in which a recovered array
+	// returns magically consistent (kept for byte-identical legacy runs).
+	ResyncMBps float64
+	// IntentJournal scopes the modeled resync to the write backlog of the
+	// journal's open-intent horizon before the crash (the dirty-stripe
+	// list); off, the recovering array must walk every hosted byte — the
+	// full-scrub window of vulnerability.
+	IntentJournal bool
 	// DeadlineMs is the availability deadline: a settled request counts as
 	// available when its client latency is within this many milliseconds
 	// (0 = any settled request counts). Failed and rejected requests are

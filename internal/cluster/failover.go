@@ -129,7 +129,22 @@ const (
 	evRecover
 	evMigrate
 	evCutover
+	// evResyncDone ends a recovering array's crash-consistency resync:
+	// only then does the array serve again (Config.ResyncMBps).
+	evResyncDone
 )
+
+// journalWindow is the open-intent horizon the cluster-level resync model
+// assumes for a journaled array: a crash can leave dirty at most the
+// stripes written in roughly this span, so the journal-on resync scope is
+// the array's trailing write volume over it.
+const journalWindow = 10 * sim.Millisecond
+
+// winEntry is one write-volume sample in an array's trailing window.
+type winEntry struct {
+	t     sim.Time
+	bytes int64
+}
 
 // domainEvent is one scheduled cluster-state transition.
 type domainEvent struct {
@@ -269,6 +284,12 @@ type router struct {
 	diverted   []int64
 	replicated int64
 	linkNs     int64
+
+	// Crash-consistency resync model (Config.ResyncMBps > 0): per-array
+	// trailing write-volume windows feeding the journal-on resync scope,
+	// and the scope captured at each crash.
+	wWin        [][]winEntry
+	resyncBytes []int64
 }
 
 // legacyRouting reports whether the PR-6 stale-signal diversion applies
@@ -295,6 +316,10 @@ func newRouter(c *Config, eff effectivePlan, capacity int64) *router {
 		recs:     make([][]shardRec, c.Arrays),
 		diverted: make([]int64, c.Arrays),
 		linkNs:   int64(c.ReplicaLinkUs * float64(sim.Microsecond)),
+	}
+	if c.ResyncMBps > 0 {
+		rt.wWin = make([][]winEntry, c.Arrays)
+		rt.resyncBytes = make([]int64, c.Arrays)
 	}
 	for a := 0; a < c.Arrays; a++ {
 		rt.downAt[a] = noCrash
@@ -382,12 +407,30 @@ func (rt *router) advance(t sim.Time) {
 			rt.migrate(ev)
 		case evCutover:
 			rt.cutover(ev)
+		case evResyncDone:
+			rt.resyncDone(ev)
 		}
 	}
 }
 
 func (rt *router) crash(ev domainEvent) {
 	rt.down[ev.array] = true
+	if rt.resyncBytes != nil && !rt.eff.faults[ev.fault].permanent() {
+		// Capture the resync scope at the cut: a journaled array owes only
+		// its open-intent backlog (trailing write volume); an unjournaled
+		// one owes every byte it hosts — primaries and replica copies.
+		if rt.c.IntentJournal {
+			rt.resyncBytes[ev.array] = rt.windowBytes(ev.array, ev.at)
+		} else {
+			var hosted int64
+			for _, v := range rt.vols {
+				if v.primary == ev.array || v.replica == ev.array {
+					hosted += v.bytes
+				}
+			}
+			rt.resyncBytes[ev.array] = hosted
+		}
+	}
 	if rt.tr.Enabled() {
 		perm := int64(0)
 		if rt.eff.faults[ev.fault].permanent() {
@@ -396,6 +439,44 @@ func (rt *router) crash(ev domainEvent) {
 		rt.tr.Emit(ev.at, obs.Event{Kind: obs.KClusterArrayDown, Dev: int32(ev.array),
 			Page: -1, Aux: perm})
 	}
+}
+
+// noteWrite records a write leg landing on an array, feeding the
+// trailing-window deque the journal-on resync scope is read from. Legs to
+// a down array never land, so they owe no resync.
+func (rt *router) noteWrite(a int, t sim.Time, bytes int64) {
+	if rt.wWin == nil || rt.down[a] {
+		return
+	}
+	w := append(rt.wWin[a], winEntry{t: t, bytes: bytes})
+	cut := t - journalWindow
+	i := 0
+	for i < len(w) && w[i].t < cut {
+		i++
+	}
+	rt.wWin[a] = w[i:]
+}
+
+// windowBytes sums the write volume that landed on the array within the
+// trailing journal window ending at the cut — the open-intent backlog a
+// journaled remount must resync. Replica legs arrive with link-delayed
+// timestamps, so entries are filtered by time, not deque position.
+func (rt *router) windowBytes(a int, at sim.Time) int64 {
+	var sum int64
+	for _, e := range rt.wWin[a] {
+		if e.t >= at-journalWindow && e.t <= at {
+			sum += e.bytes
+		}
+	}
+	rt.wWin[a] = rt.wWin[a][:0]
+	return sum
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // failover repins the crashed array's volumes onto their replicas. Without
@@ -447,10 +528,38 @@ func (rt *router) failover(ev domainEvent) {
 	}
 }
 
-// recover brings a timed-crash array back: clean repinned volumes flip
+// recover fires at a timed-crash array's nominal power-on. With the
+// crash-consistency model on (Config.ResyncMBps) the array is NOT
+// consistent yet: it stays down while the resync walks its scope, and
+// only evResyncDone lets it serve. Without the model, recovery is
+// immediate (the legacy magically-consistent behavior).
+func (rt *router) recover(ev domainEvent) {
+	if rt.resyncBytes != nil {
+		bytes := rt.resyncBytes[ev.array]
+		dur := sim.Time(float64(bytes) / (rt.c.ResyncMBps * 1e6) * float64(sim.Second))
+		f := &rt.faults[ev.fault]
+		f.ResyncBytes = bytes
+		f.ResyncMs = float64(dur) / float64(sim.Millisecond)
+		f.DowntimeMs += f.ResyncMs
+		rt.push(domainEvent{at: ev.at + dur, kind: evResyncDone, array: ev.array, fault: ev.fault, mig: -1})
+		return
+	}
+	rt.serveAgain(ev)
+}
+
+// resyncDone ends the remount resync: the array is consistent and serves.
+func (rt *router) resyncDone(ev domainEvent) {
+	if rt.tr.Enabled() {
+		rt.tr.Emit(ev.at, obs.Event{Kind: obs.KResyncDone, Dev: int32(ev.array), Page: -1,
+			Aux: rt.resyncBytes[ev.array], Aux2: int64(boolToInt(rt.c.IntentJournal))})
+	}
+	rt.serveAgain(ev)
+}
+
+// serveAgain brings a timed-crash array back: clean repinned volumes flip
 // home instantly, dirty ones stream their backlog back first, and volumes
 // whose replica was down refresh it.
-func (rt *router) recover(ev domainEvent) {
+func (rt *router) serveAgain(ev domainEvent) {
 	rt.down[ev.array] = false
 	if rt.tr.Enabled() {
 		rt.tr.Emit(ev.at, obs.Event{Kind: obs.KClusterArrayUp, Dev: int32(ev.array), Page: -1})
@@ -675,6 +784,7 @@ func (rt *router) route(admitted []placedReq, busy []busyTimeline, tr *obs.Trace
 			continue
 		}
 		size := int64(pr.rec.Size)
+		rt.noteWrite(target, t, size)
 		if rt.c.ReplicateWrites && !v.degraded && v.replica != v.primary {
 			if rt.down[v.replica] {
 				v.dirtyBytes += size
@@ -687,6 +797,7 @@ func (rt *router) route(admitted []placedReq, busy []busyTimeline, tr *obs.Trace
 					rid: int64(i), job: -1, tenant: int32(pr.tenant),
 					write: true, role: roleReplica, linkNs: link,
 				}})
+				rt.noteWrite(v.replica, rrec.Timestamp, size)
 				rt.replicated++
 				if tr.Enabled() {
 					tr.Emit(t, obs.Event{Kind: obs.KClusterReplicate, Dev: int32(v.replica),

@@ -79,6 +79,12 @@ type FailureEvent struct {
 	// work that restored redundancy (longest job, start to drain).
 	RereplicatedBytes int64
 	RereplicationMs   float64
+	// ResyncBytes and ResyncMs describe the remount consistency walk a
+	// timed crash owes before serving again (Config.ResyncMBps runs): the
+	// journal scopes it to the open-intent backlog, otherwise the array
+	// rereads every hosted byte. Zero when the model is off.
+	ResyncBytes int64
+	ResyncMs    float64
 }
 
 // MigrationEvent describes one live volume migration.
@@ -186,10 +192,14 @@ func (r *ClusterResults) String() string {
 		if f.Permanent {
 			kind = "permanent"
 		}
-		fmt.Fprintf(&b, "  failure array=%d %s at=%.1fms failover=%.1fms repinned=%d spare=%d failed=%d loss=%d rerepl=%.1fMB/%.1fms\n",
+		fmt.Fprintf(&b, "  failure array=%d %s at=%.1fms failover=%.1fms repinned=%d spare=%d failed=%d loss=%d rerepl=%.1fMB/%.1fms",
 			f.Array, kind, f.DownAtMs, f.FailoverMs, f.RepinnedVolumes, f.SpareArray,
 			f.FailedRequests, f.DataLossReads,
 			float64(f.RereplicatedBytes)/1e6, f.RereplicationMs)
+		if f.ResyncMs > 0 {
+			fmt.Fprintf(&b, " resync=%.1fMB/%.1fms", float64(f.ResyncBytes)/1e6, f.ResyncMs)
+		}
+		fmt.Fprintln(&b)
 	}
 	for _, m := range r.Migrations {
 		fmt.Fprintf(&b, "  migration %s %d->%d start=%.1fms cutover=%.1fms copied=%.1fMB/%.1fms\n",

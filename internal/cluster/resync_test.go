@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// resyncConfig is a timed crash landing inside the workload's dense
+// opening burst, so writes are in flight on the array at the cut.
+func resyncConfig(repl, journal bool, mbps float64) Config {
+	return Config{
+		Arrays:          4,
+		Policy:          PolicyHash,
+		Workers:         2,
+		Base:            tinyBase(),
+		Tenants:         tinyTenants(6, 150),
+		ReplicateWrites: repl,
+		ArrayFaults:     []ArrayFault{{Array: 1, AtMs: 100, DowntimeMs: 50}},
+		ResyncMBps:      mbps,
+		IntentJournal:   journal,
+	}
+}
+
+// TestCrashResyncScopesToJournal pins the cluster half of the write-hole
+// story: a timed-crash array with writes in flight at the cut must resync
+// before serving again. The journal scopes the walk to the trailing
+// open-intent window; without it the remount rereads every hosted byte,
+// and the wider outage is visible in the failure record.
+func TestCrashResyncScopesToJournal(t *testing.T) {
+	on, err := Run(resyncConfig(true, true, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(resyncConfig(true, false, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, on)
+	conserve(t, off)
+
+	fOn, fOff := on.Failures[0], off.Failures[0]
+	if fOn.ResyncMs <= 0 || fOn.ResyncBytes <= 0 {
+		t.Fatalf("journal-on crash measured no resync: %+v", fOn)
+	}
+	if fOff.ResyncMs <= 0 || fOff.ResyncBytes <= 0 {
+		t.Fatalf("journal-off crash measured no resync: %+v", fOff)
+	}
+	// The journal's whole point: its dirty scope (a 10ms write window) is a
+	// tiny fraction of the full hosted-bytes walk the unjournaled remount
+	// owes, so it comes back to service far sooner.
+	if fOn.ResyncBytes >= fOff.ResyncBytes {
+		t.Fatalf("journal resync scope %dB >= full walk %dB", fOn.ResyncBytes, fOff.ResyncBytes)
+	}
+	if fOn.ResyncMs >= fOff.ResyncMs {
+		t.Fatalf("journal resync %.1fms >= full walk %.1fms", fOn.ResyncMs, fOff.ResyncMs)
+	}
+	// The outage record includes the resync: the array did NOT serve at its
+	// nominal power-on.
+	if fOn.DowntimeMs <= 50 || fOff.DowntimeMs <= fOn.DowntimeMs {
+		t.Fatalf("downtime not extended by resync: on=%.1fms off=%.1fms",
+			fOn.DowntimeMs, fOff.DowntimeMs)
+	}
+}
+
+// TestCrashResyncGatesServing pins the gate itself on an unreplicated
+// fleet, where every request to the down array fails for the whole
+// outage: the resync window extends the outage, so the full-walk remount
+// fails strictly more arrivals than the journal-scoped one. PR 8's
+// failback must not mask this — nothing serves from the array until its
+// resync completes.
+func TestCrashResyncGatesServing(t *testing.T) {
+	on, err := Run(resyncConfig(false, true, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(resyncConfig(false, false, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conserve(t, on)
+	conserve(t, off)
+	if on.Failed == 0 {
+		t.Fatal("crash during the opening burst failed no requests")
+	}
+	if off.Failed <= on.Failed {
+		t.Fatalf("full-walk remount failed %d requests, journaled remount %d; resync gate not visible",
+			off.Failed, on.Failed)
+	}
+	// The recovered array serves again once its resync completes.
+	if on.PerArray[1].Requests == 0 || off.PerArray[1].Requests == 0 {
+		t.Fatal("recovered array served nothing after resync")
+	}
+}
+
+// TestResyncKnobsInertWhenOff pins the legacy guarantee: with ResyncMBps
+// unset the crash-consistency knobs change nothing — recovery stays the
+// magically-consistent instant flip, byte for byte.
+func TestResyncKnobsInertWhenOff(t *testing.T) {
+	base, err := Run(resyncConfig(true, false, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	knobbed, err := Run(resyncConfig(true, true, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, knobbed) {
+		t.Fatal("IntentJournal changed cluster results with the resync model off")
+	}
+	if base.Failures[0].ResyncMs != 0 || base.Failures[0].ResyncBytes != 0 {
+		t.Fatalf("legacy run reported a resync: %+v", base.Failures[0])
+	}
+	if base.Failures[0].DowntimeMs != 50 {
+		t.Fatalf("legacy downtime %.1fms, want the nominal 50", base.Failures[0].DowntimeMs)
+	}
+}

@@ -96,6 +96,10 @@ func NewController(eng *sim.Engine, arr *raid.Array, devs []*ssd.Device, plan Pl
 // Stats returns a snapshot of the controller's accounting.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// Injectors exposes the per-device injectors the controller installed —
+// the power-loss replay adds torn-page defects to them after a remount.
+func (c *Controller) Injectors() []*Injector { return c.injs }
+
 // Err returns the first error a scheduled fault event hit (a sink factory
 // failure, say); nil on a clean run.
 func (c *Controller) Err() error { return c.err }

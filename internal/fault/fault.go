@@ -313,6 +313,22 @@ func (i *Injector) BadPages() (latent, corrupt int) {
 	return len(i.bad), len(i.corrupt)
 }
 
+// Tear marks the given pages as torn: a power loss interrupted their
+// program mid-flight, so the flash holds garbage that fails its CRC32-C on
+// read. Torn pages join the persistent corrupt set — detected by checksum
+// verification and the resync/scrub walkers, cleared by Repair.
+func (i *Injector) Tear(pages []int) {
+	if len(pages) == 0 {
+		return
+	}
+	if i.corrupt == nil {
+		i.corrupt = make(map[int]bool, len(pages))
+	}
+	for _, p := range pages {
+		i.corrupt[p] = true
+	}
+}
+
 // markFailed silences further URE draws (the array no longer reads the
 // device, but defensive code paths may still probe it).
 func (i *Injector) markFailed() { i.failed = true }

@@ -72,6 +72,36 @@ func TestFailSlowGridDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestCrashConsistDeterministicAcrossWorkers pins the crash-consistency
+// grid inside the determinism envelope: every cell replays the same trace
+// through a power cut, remount, and resync, so the worker count must be
+// pure parallelism — identical grids serial and fanned out.
+func TestCrashConsistDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation grid")
+	}
+	serial := tinyOptions()
+	serial.MaxRequests = 800
+	serial.Workers = 1
+	fanned := serial
+	fanned.Workers = runtime.GOMAXPROCS(0)
+
+	gs, err := CrashConsist(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := CrashConsist(fanned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gs.Mean, gf.Mean) {
+		t.Errorf("primary metric differs across worker counts:\nserial: %v\nfanned: %v", gs.Mean, gf.Mean)
+	}
+	if !reflect.DeepEqual(gs.Aux, gf.Aux) {
+		t.Errorf("aux metrics differ across worker counts")
+	}
+}
+
 // TestClusterDeterministicAcrossShardWorkers pins the fleet layer's
 // determinism contract: shards replay on a bounded worker pool, but the
 // pool size is pure parallelism — the same seed and configuration must

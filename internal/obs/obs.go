@@ -200,6 +200,27 @@ const (
 	// cluster lost data it had acknowledged. dev = down array,
 	// aux = tenant index, aux2 = request sequence.
 	KClusterDataLoss
+	// KPowerLoss is a whole-array power cut: every in-flight program and
+	// queued sub-op is lost. aux = dirty (journal-open) stripes at the cut,
+	// aux2 = user requests in flight (lost, never acknowledged).
+	KPowerLoss
+	// KTornWrite is one page program interrupted mid-flight by a power
+	// loss: the page persists garbage that fails its CRC32-C on read.
+	// dev = device, page = device page, aux = stripe.
+	KTornWrite
+	// KJournalMark is a stripe marked dirty in the intent journal before
+	// its write fan-out. aux = stripe, aux2 = phase-2 legs registered.
+	KJournalMark
+	// KJournalClear is a stripe's intent retired at its write barrier.
+	// aux = stripe.
+	KJournalClear
+	// KResyncStripe is one stripe checked by the post-restart resync
+	// walker. aux = stripe, aux2 = 1 when it was found inconsistent and
+	// repaired, 0 when clean.
+	KResyncStripe
+	// KResyncDone completes the post-restart resync. aux = stripes
+	// walked, aux2 = stripes found inconsistent.
+	KResyncDone
 
 	kindCount
 )
@@ -253,6 +274,12 @@ var kindNames = [kindCount]string{
 	KClusterCutover:   "cluster-cutover",
 	KClusterFailedReq: "cluster-failed",
 	KClusterDataLoss:  "cluster-data-loss",
+	KPowerLoss:        "power-loss",
+	KTornWrite:        "torn-write",
+	KJournalMark:      "journal-mark",
+	KJournalClear:     "journal-clear",
+	KResyncStripe:     "resync-stripe",
+	KResyncDone:       "resync-done",
 }
 
 // String returns the kind's wire name.

@@ -249,6 +249,13 @@ type Array struct {
 	phase1Scratch []SubOp
 	coverScratch  [][2]int
 	subopFree     [][]SubOp
+
+	// Intents, when non-nil, is the write-ahead dirty-stripe intent
+	// journal: every RAID5/6 stripe write marks its stripe before the
+	// fan-out and clears it at the stripe barrier, closing the RAID write
+	// hole (see journal.go). Nil keeps the write path allocation-free and
+	// the traces byte-identical to a journal-free build.
+	Intents *IntentLog
 }
 
 // diskCaps is one member's cached optional capabilities; nil fields mean
@@ -995,6 +1002,15 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 	st := g.stripe
 	base := lay.UnitPage(st)
 
+	// Write-ahead intent: the stripe is marked dirty before any leg is
+	// issued, so a power cut at any later instant finds the mark in the
+	// journal. The write legs are registered once the phase-2 list exists.
+	var it *intent
+	if a.Intents != nil {
+		it = a.Intents.mark(st)
+		done = a.journalClear(it, done)
+	}
+
 	// Union of touched in-unit offsets (contiguous for a contiguous write).
 	lo, hi := lay.UnitPages, 0
 	covered := 0
@@ -1107,6 +1123,24 @@ func (a *Array) writeStripe(now sim.Time, g stripeGroup, tok *Cancel, done func(
 		if qd >= 0 && a.alive(qd) {
 			phase1 = append(phase1, SubOp{Disk: qd, Page: base + lo, Pages: parityPages, Kind: OpParityRead, Stripe: st})
 		}
+	}
+
+	if it != nil {
+		a.Intents.register(it, phase2)
+		if a.Intents.Journaled && a.Trace.Enabled() {
+			a.Trace.Emit(now, obs.Event{Kind: obs.KJournalMark, Dev: -1, Page: -1,
+				Aux: int64(st), Aux2: int64(len(phase2))})
+		}
+		if len(phase1) == 0 {
+			a.issuePhase2Journal(now, phase2, tok, done, it)
+			return
+		}
+		cb := barrier(len(phase1), func(t sim.Time) { a.issuePhase2Journal(t, phase2, tok, done, it) })
+		for _, op := range phase1 {
+			a.issue(now, op, tok, cb)
+		}
+		a.phase1Scratch = phase1[:0]
+		return
 	}
 
 	if len(phase1) == 0 {

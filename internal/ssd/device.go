@@ -195,6 +195,21 @@ type Device struct {
 	// Trace, when non-nil, receives GC lifecycle events (start, extend,
 	// end). A nil tracer costs one nil check per episode.
 	Trace *obs.Tracer
+
+	// TrackPrograms records the channel-occupancy window of every host page
+	// program so a power-loss cut can identify pages whose program was
+	// interrupted mid-flight (a torn page persists garbage that fails its
+	// CRC32-C on read). Off it costs one branch per written page; crash
+	// runs enable it before replay.
+	TrackPrograms bool
+	programs      []programWindow
+}
+
+// programWindow is one tracked host page program: the logical page and the
+// channel-occupancy interval during which a power cut tears it.
+type programWindow struct {
+	lpn        int
+	start, end sim.Time
 }
 
 // New creates a device bound to engine eng.
@@ -370,6 +385,9 @@ func (d *Device) Write(now sim.Time, lpn, pages int, done func(now sim.Time)) er
 		dur := d.cfg.Latency.PageProgram + d.cfg.Latency.BusTransfer + d.faultDelay(now, c, true)
 		service += dur
 		end := d.occupy(now, c, dur)
+		if d.TrackPrograms {
+			d.trackProgram(now, lpn+i, end-dur, end)
+		}
 		if end > finish {
 			finish = end
 		}
@@ -594,6 +612,34 @@ func (d *Device) MaxBacklog(now sim.Time) sim.Time {
 		}
 	}
 	return m
+}
+
+// trackProgram appends one program window, pruning finished windows when
+// the log doubles so the slice stays proportional to in-flight work.
+func (d *Device) trackProgram(now sim.Time, lpn int, start, end sim.Time) {
+	if len(d.programs) >= 64 && len(d.programs) == cap(d.programs) {
+		live := d.programs[:0]
+		for _, w := range d.programs {
+			if w.end > now {
+				live = append(live, w)
+			}
+		}
+		d.programs = live
+	}
+	d.programs = append(d.programs, programWindow{lpn: lpn, start: start, end: end})
+}
+
+// TornPrograms returns the logical pages whose program window straddles the
+// instant at — the pages a power cut at that instant tears. Requires
+// TrackPrograms; the result is in program-issue order.
+func (d *Device) TornPrograms(at sim.Time) []int {
+	var torn []int
+	for _, w := range d.programs {
+		if w.start <= at && at < w.end {
+			torn = append(torn, w.lpn)
+		}
+	}
+	return torn
 }
 
 // Wear returns the maximum and mean per-block erase counts, the endurance

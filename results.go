@@ -92,6 +92,12 @@ type Results struct {
 	// GC schemes that erase more (GGC's forced collections) age the flash
 	// faster — the reliability angle of §II-A.
 	Wear WearStats
+
+	// Crash carries the power-loss and recovery accounting of a
+	// ReplayWithPowerLoss run (Enabled is false for every other entry
+	// point). For crash runs the top-level latency fields describe the
+	// post-crash period; Crash.PreCrash holds the pre-cut summary.
+	Crash CrashStats
 }
 
 // BusyKind classifies one background-occupancy window in Results.Busy.
@@ -389,6 +395,15 @@ func (r *Results) String() string {
 	}
 	if r.Robust.Quarantines > 0 {
 		fmt.Fprintf(&b, " quarantines=%d reinstated=%d", r.Robust.Quarantines, r.Robust.Reinstatements)
+	}
+	if r.Crash.Enabled {
+		mode := "journal"
+		if !r.Crash.Journaled {
+			mode = "no-journal"
+		}
+		fmt.Fprintf(&b, " crash[%s]=%v dirty=%d torn=%d found=%d/%d resync=%v",
+			mode, r.Crash.CrashAt, r.Crash.DirtyStripes, r.Crash.TornPages,
+			r.Crash.ResyncFound, r.Crash.InconsistentStripes, r.Crash.ResyncDuration)
 	}
 	return b.String()
 }

@@ -87,6 +87,12 @@ type System struct {
 	reqSeq    int64
 	inFlight  int
 
+	// arrivalLag, normally zero, is the stall a power-loss replay charges
+	// the next submitted request: a request that arrived while the
+	// remounted array was still resyncing is submitted at gate-open with
+	// the wait folded into its recorded response time.
+	arrivalLag int64
+
 	deadlineHits int64 // requests cancelled at their deadline
 	rejected     int64 // requests refused by admission control
 
@@ -388,12 +394,13 @@ func (s *System) submit(now sim.Time, r Record) {
 	// no-deadline case allocates one callback per request instead of two.
 	isWrite := r.Write
 	settled := false
+	lag := s.arrivalLag
 	done := func(t sim.Time) {
 		if settled {
 			return
 		}
 		settled = true
-		d := int64(t - now)
+		d := int64(t-now) + lag
 		if s.trace.Enabled() {
 			s.trace.Emit(t, obs.Event{Kind: obs.KComplete, Dev: -1, Page: -1,
 				Aux: d, Aux2: seq})
@@ -418,7 +425,7 @@ func (s *System) submit(now sim.Time, r Record) {
 			}
 			// The requester gave up at the deadline, so that is the
 			// user-visible response time.
-			s.settleRequest(now, seq, int64(deadline), isWrite, record, degraded, inGC)
+			s.settleRequest(now, seq, int64(deadline)+lag, isWrite, record, degraded, inGC)
 		})
 	}
 	var err error
@@ -689,7 +696,30 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 	if len(tr) == 0 {
 		return nil, fmt.Errorf("gcsteering: empty trace")
 	}
-	ctl, err := fault.NewController(s.eng, s.arr, s.devs, s.cfg.Fault.plan(s.cfg.Seed), s.cfg.Flash.PageSize)
+	ctl, err := s.armFaults(s.cfg.Fault.plan(s.cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	ctl.Start()
+	if err := s.startScrub(); err != nil {
+		return nil, err
+	}
+	s.measuring = true
+	s.scheduleArrivals(tr)
+	s.eng.Run()
+	s.drainSteering()
+	ctl.Finish(s.eng.Now())
+	if err := ctl.Err(); err != nil {
+		return nil, err
+	}
+	return s.results(), nil
+}
+
+// armFaults builds and wires the fault controller for the lowered plan —
+// the shared setup behind ReplayWithFaults and the power-loss replay. The
+// caller starts it.
+func (s *System) armFaults(plan fault.Plan) (*fault.Controller, error) {
+	ctl, err := fault.NewController(s.eng, s.arr, s.devs, plan, s.cfg.Flash.PageSize)
 	if err != nil {
 		return nil, err
 	}
@@ -735,19 +765,7 @@ func (s *System) ReplayWithFaults(tr Trace) (*Results, error) {
 		}
 	}
 	s.faults = ctl
-	ctl.Start()
-	if err := s.startScrub(); err != nil {
-		return nil, err
-	}
-	s.measuring = true
-	s.scheduleArrivals(tr)
-	s.eng.Run()
-	s.drainSteering()
-	ctl.Finish(s.eng.Now())
-	if err := ctl.Err(); err != nil {
-		return nil, err
-	}
-	return s.results(), nil
+	return ctl, nil
 }
 
 // faultSink builds the rebuild sink for the plan's RebuildTarget plus the
