@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -21,6 +23,114 @@ func TestUnknownAnalyzer(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-analyzers", "nosuch"}, ".", &out, &errOut); code != 2 {
 		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-diff"}, ".", &out, &errOut); code != 2 {
+		t.Errorf("-diff without -fix exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-diff requires -fix") {
+		t.Errorf("missing -diff diagnostic: %s", errOut.String())
+	}
+	errOut.Reset()
+	if code := run([]string{"-sarif", "-fix"}, ".", &out, &errOut); code != 2 {
+		t.Errorf("-sarif -fix exited %d, want 2", code)
+	}
+}
+
+// writeFixModule creates a throwaway module containing one mechanical
+// maporder violation (key-only map range appending unsorted), returning
+// its directory and the violating file path.
+func writeFixModule(t *testing.T) (dir, file string) {
+	t.Helper()
+	dir = t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module tmpfix\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file = filepath.Join(dir, "p.go")
+	src := `package p
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir, file
+}
+
+// TestFixDiffDryRun checks the CI check mode: diffs print, nothing is
+// written, and pending rewrites fail the run.
+func TestFixDiffDryRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export in a temp module")
+	}
+	dir, file := writeFixModule(t)
+	orig, _ := os.ReadFile(file)
+	var out, errOut strings.Builder
+	code := run([]string{"-analyzers", "maporder", "-fix", "-diff", "./..."}, dir, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("-fix -diff with pending rewrites exited %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "sort.Slice(ks") {
+		t.Errorf("diff does not preview the rewrite:\n%s", out.String())
+	}
+	after, _ := os.ReadFile(file)
+	if string(after) != string(orig) {
+		t.Error("-diff must not write files")
+	}
+}
+
+// TestFixWritesAndConverges checks write mode: the rewrite lands on disk,
+// the exit status is clean (everything was fixable), and a second run
+// finds nothing.
+func TestFixWritesAndConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export in a temp module")
+	}
+	dir, file := writeFixModule(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-analyzers", "maporder", "-fix", "./..."}, dir, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("-fix exited %d, want 0 (all findings fixable)\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	after, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(after), "sort.Slice(ks") || !strings.Contains(string(after), `"sort"`) {
+		t.Fatalf("rewrite (or its import) not written:\n%s", after)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-analyzers", "maporder", "./..."}, dir, &out, &errOut); code != 0 {
+		t.Fatalf("re-run after -fix exited %d, want 0; findings:\n%s", code, out.String())
+	}
+}
+
+// TestSarifFindings checks SARIF mode end to end on a module with one
+// finding: a valid document, the right rule ID, and a failing exit.
+func TestSarifFindings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list -export in a temp module")
+	}
+	dir, _ := writeFixModule(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-analyzers", "maporder", "-sarif", "./..."}, dir, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("-sarif with findings exited %d, want 1", code)
+	}
+	for _, want := range []string{`"version": "2.1.0"`, `"ruleId": "maporder"`, `"uri": "p.go"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("SARIF output missing %s:\n%s", want, out.String())
+		}
 	}
 }
 

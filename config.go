@@ -142,16 +142,19 @@ type Config struct {
 	// path: silent corruption (FaultPlan.CorruptPageRate) is detected and
 	// served from RAID redundancy instead of being delivered. Off,
 	// corrupted reads pass silently.
+	//gcsvet:inert
 	Checksums bool
 	// HedgedReads races a parity reconstruct-read against direct reads
 	// whose home disk is mid-GC or fail-slow and takes the winner — the
 	// read-side dual of GC-aware write steering, cutting GC-phase read
 	// tail latency at the cost of extra sub-ops. RAID5/6 only.
+	//gcsvet:inert
 	HedgedReads bool
 	// ScrubMBps enables the patrol scrubber at this array-wide read
 	// bandwidth cap (MB/s): a background walker verifies every stripe
 	// against the seeded defects and repairs bad units in place from
 	// redundancy. <= 0 disables scrubbing.
+	//gcsvet:inert
 	ScrubMBps float64
 	// ScrubPasses is the number of full patrol passes per run (<= 0
 	// defaults to 1; passes are finite so runs always terminate).
@@ -162,11 +165,13 @@ type Config struct {
 	// on arrival at the array, the request is counted in
 	// Results.Robust.DeadlineExceeded, and its response time is recorded as
 	// the deadline. <= 0 disables deadlines.
+	//gcsvet:inert
 	DeadlineUs float64
 	// MaxRetries bounds re-issues of a read sub-op that hits a transient
 	// read error (FaultPlan.TransientReadErrorRate). 0 gives up on the
 	// first error (it is absorbed, not surfaced, mirroring drive-internal
 	// retry exhaustion).
+	//gcsvet:inert
 	MaxRetries int
 	// RetryBackoffUs is the base delay before the first retry; it doubles
 	// per attempt. 0 with MaxRetries > 0 defaults to 200 µs.
@@ -175,6 +180,7 @@ type Config struct {
 	// array sheds background load first (hot-read migrations, scrub pacing)
 	// and then rejects arrivals outright (Results.Robust.Rejected). <= 0
 	// disables admission control.
+	//gcsvet:inert
 	QueueLimit int
 	// RecordBusy makes the system log every background-occupancy window —
 	// per-device GC episodes, open health breakers, and active rebuilds —
@@ -183,6 +189,7 @@ type Config struct {
 	// windows). Recording appends to an in-memory slice from hooks that are
 	// already wired; it schedules no engine events, so an identically
 	// seeded run is unchanged by enabling it.
+	//gcsvet:inert
 	RecordBusy bool
 
 	// Quarantine enables the per-device health monitor: a circuit breaker
@@ -192,6 +199,7 @@ type Config struct {
 	// until the device proves healthy again. With no fail-slow member the
 	// monitor observes without scheduling anything, so enabling it on a
 	// healthy run reproduces the baseline byte for byte.
+	//gcsvet:inert
 	Quarantine bool
 
 	// Flash is the per-SSD geometry; Latency the flash op timing.
@@ -224,6 +232,7 @@ type Config struct {
 	// queue-depth sampling) in the results' time series, at the cost of one
 	// histogram (~5 KB) per active 100 ms window. Off, the series still
 	// carries per-window mean/max/count and the gauges.
+	//gcsvet:inert
 	WindowQuantiles bool
 
 	// Fault configures deterministic fault injection, executed only by
@@ -237,6 +246,7 @@ type Config struct {
 	// or while (journal off) serving the rest of the trace. Executed only by
 	// ReplayWithPowerLoss; <= 0 leaves every other entry point untouched so
 	// default runs stay byte-identical.
+	//gcsvet:inert
 	PowerLossAtMs float64
 	// IntentJournal arms the write-ahead dirty-stripe intent journal for
 	// power-loss runs: stripes are marked dirty before the write fan-out and
@@ -245,9 +255,11 @@ type Config struct {
 	// full-scrub the array to find torn stripes — the window of
 	// vulnerability the journal closes. Only consulted when PowerLossAtMs is
 	// set.
+	//gcsvet:inert
 	IntentJournal bool
 	// ResyncMBps caps the post-crash resync read bandwidth (MB/s). <= 0
 	// defaults to 200 during power-loss runs and is ignored otherwise.
+	//gcsvet:inert
 	ResyncMBps float64
 }
 

@@ -565,7 +565,7 @@ func arrayOffset(volKey string, array int, within, capacity, volBytes int64) int
 	room := capacity - volBytes
 	var base int64
 	if room > 0 {
-		base = int64(fnv64(fmt.Sprintf("%s@%d", volKey, array)) % uint64(room))
+		base = int64(fnv64At(volKey, array) % uint64(room))
 		base -= base % 4096
 	}
 	off := base + within
@@ -595,7 +595,9 @@ func (c Config) runShards(trs []trace.Trace, plans []gcsteering.FaultPlan, bufs 
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		//lint:allow nodeterm cluster shard pool: each shard is a self-contained engine; results land in per-array slots and merge in array order after the pool drains
+		// Sanctioned concurrency (nodeterm allowlists internal/cluster):
+		// each shard is a self-contained engine; results land in
+		// per-array slots and merge in array order after the pool drains.
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
@@ -700,8 +702,18 @@ func newBusyTimeline(in []gcsteering.BusyInterval) busyTimeline {
 	return tl
 }
 
-// at reports whether the array was busy at instant t.
+// at reports whether the array was busy at instant t. The binary search is
+// hand-rolled rather than sort.Search because at sits on the per-request
+// divert path and sort.Search's func argument escapes on every call.
 func (tl busyTimeline) at(t sim.Time) bool {
-	i := sort.Search(len(tl.starts), func(j int) bool { return tl.starts[j] > t })
-	return i > 0 && t < tl.ends[i-1]
+	lo, hi := 0, len(tl.starts)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tl.starts[mid] > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo > 0 && t < tl.ends[lo-1]
 }

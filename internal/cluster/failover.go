@@ -379,13 +379,21 @@ func newRouter(c *Config, eff effectivePlan, capacity int64) *router {
 func (rt *router) push(ev domainEvent) {
 	ev.seq = rt.eventSeq
 	rt.eventSeq++
-	i := rt.next + sort.Search(len(rt.events)-rt.next, func(j int) bool {
-		e := rt.events[rt.next+j]
-		if e.at != ev.at {
-			return e.at > ev.at
+	// Closure-free binary search for the first future event ordered after
+	// ev; push is reachable from event handlers on the routed request path
+	// and sort.Search's func argument would escape on every insertion.
+	lo, hi := rt.next, len(rt.events)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := rt.events[mid]
+		after := e.at > ev.at || (e.at == ev.at && e.seq > ev.seq)
+		if after {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
-		return e.seq > ev.seq
-	})
+	}
+	i := lo
 	rt.events = append(rt.events, domainEvent{})
 	copy(rt.events[i+1:], rt.events[i:])
 	rt.events[i] = ev
@@ -595,6 +603,11 @@ func (rt *router) serveAgain(ev domainEvent) {
 // migrate launches a live volume migration: the copy job streams the
 // volume while the old placement serves, mirroring writes to the
 // destination; cutover flips the placement when the copy drains.
+//
+// Episodic: runs once per configured migration event, never per request, so
+// its allocations are outside the hot-path allocation budget.
+//
+//gcsvet:cold
 func (rt *router) migrate(ev domainEvent) {
 	m := rt.c.Migrations[ev.mig]
 	v := rt.volByKey(fmt.Sprintf("%s/%d", m.Tenant, m.Volume))
@@ -669,6 +682,11 @@ func copyChunk(bytes int64) int64 {
 
 // startJob creates a copy job, lowers it to paced chunk read/write legs on
 // the source and destination shards, and schedules its cutover.
+//
+// Episodic: one job per fault/migration domain event; the job struct and its
+// chunk legs are the work itself, not per-request overhead.
+//
+//gcsvet:cold
 func (rt *router) startJob(v *volState, kind, from, to int, bytes int64, mirror bool, fault, mig int, now sim.Time) {
 	if bytes < 4096 {
 		bytes = 4096
@@ -739,6 +757,12 @@ func (rt *router) linkDelayNs(array int, t sim.Time) int64 {
 // down), applies steering diversion, and emits the serving, replica, and
 // mirror legs. Afterwards it drains the remaining domain events and
 // time-sorts every per-array stream.
+// route is a gcsvet hot-path root: the sweep body runs once per admitted
+// request across the whole fleet, so hotalloc holds it and everything it
+// reaches allocation-free (the routes/recs slabs are set up once per
+// sweep and grow amortized).
+//
+//gcsvet:hot
 func (rt *router) route(admitted []placedReq, busy []busyTimeline, tr *obs.Tracer) {
 	rt.busy = busy
 	rt.tr = tr
@@ -881,6 +905,10 @@ func (rt *router) divert(v *volState, rec trace.Record, t sim.Time) bool {
 // finish time-sorts every per-array stream (replica and copy legs arrive
 // out of admitted order) and resolves each request's legs against the
 // post-sort sequence numbers the shards will report.
+//
+// Episodic: once-per-sweep teardown after routing completes.
+//
+//gcsvet:cold
 func (rt *router) finish() {
 	for a := range rt.recs {
 		recs := rt.recs[a]

@@ -23,12 +23,65 @@ func fnv64(s string) uint64 {
 		h ^= uint64(s[i])
 		h *= fnvPrime
 	}
+	return fnvFinish(h)
+}
+
+// fnvFinish is the murmur3-style avalanche applied after the FNV-1a fold.
+func fnvFinish(h uint64) uint64 {
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	h *= 0xc4ceb9fe1a85ec53
 	h ^= h >> 33
 	return h
+}
+
+// fnv64At hashes the byte sequence `s + "@" + decimal(n)` without building
+// the intermediate string, producing output bit-identical to
+// fnv64(fmt.Sprintf("%s@%d", s, n)) for n >= 0. The per-request placement
+// path (arrayOffset) depends on that equivalence: switching hash inputs
+// would silently re-place every volume extent, so TestFnv64AtMatchesSprintf
+// pins the two forms together.
+func fnv64At(s string, n int) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	h ^= uint64('@')
+	h *= fnvPrime
+	var buf [20]byte
+	i := len(buf)
+	if n == 0 {
+		i--
+		buf[i] = '0'
+	}
+	for v := n; v > 0; v /= 10 {
+		i--
+		buf[i] = byte('0' + v%10)
+	}
+	for ; i < len(buf); i++ {
+		h ^= uint64(buf[i])
+		h *= fnvPrime
+	}
+	return fnvFinish(h)
+}
+
+// searchGE returns the index of the first ring point with hash >= h, or
+// len(points) if none. It is sort.Search specialised to the ring so the
+// per-request lookup path stays closure-free (sort.Search's func argument
+// escapes to the heap on every call).
+func (r *ring) searchGE(h uint64) int {
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash >= h {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // ringPoint is one virtual node on the hash ring.
@@ -76,7 +129,7 @@ func (r *ring) lookup(key string) (primary, replica int) {
 		return 0, 0
 	}
 	h := fnv64(key)
-	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	i := r.searchGE(h)
 	if i == len(r.points) {
 		i = 0
 	}
@@ -104,7 +157,7 @@ func (r *ring) replicaExcluding(key string, avoid ...int) int {
 		return 0
 	}
 	h := fnv64(key)
-	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	i := r.searchGE(h)
 	if i == len(r.points) {
 		i = 0
 	}

@@ -55,12 +55,19 @@ func (s *Steering) drain(now sim.Time, disk int) {
 		return
 	}
 	s.draining[disk] = true
+	//lint:allow hotalloc one kick-off closure per drain start, bounded by GC episodes, not per request
 	s.eng.Defer(func(t sim.Time) { s.drainNext(t, disk) })
 }
 
 // drainNext reclaims the next merged run for disk, then re-arms itself.
 // It stops (and re-arms on the next GC-end event) when the disk re-enters
 // collection or when no write entries remain.
+//
+// gcsvet: the reclaim pump runs deferred, one merged run per step, a
+// bounded number of times per GC episode — off the per-request path, so
+// it is a cold boundary for hotalloc.
+//
+//gcsvet:cold
 func (s *Steering) drainNext(now sim.Time, disk int) {
 	if disk == s.failedHome {
 		// The home member is gone; its entries stay staged until rebuilt.

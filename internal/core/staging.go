@@ -327,6 +327,7 @@ func (r *ReservedStaging) Write(now sim.Time, loc StageLoc, done func(sim.Time))
 		return
 	}
 	remain := 2
+	//lint:allow hotalloc one mirror barrier closure per mirrored staging write; the redundancy is the feature's budgeted cost
 	cb := func(t sim.Time) {
 		remain--
 		if remain == 0 && done != nil {

@@ -318,7 +318,11 @@ func (s *Steering) RedirectRatio() float64 {
 	return float64(s.stats.GCPagesRedirected) / float64(s.stats.GCPages)
 }
 
-// route is installed as raid.Array.Route.
+// route is installed as raid.Array.Route. It runs once per sub-op on
+// the steering request path and is a gcsvet hot-path root: hotalloc
+// holds it and everything it reaches allocation-free.
+//
+//gcsvet:hot
 func (s *Steering) route(now sim.Time, op raid.SubOp, done func(sim.Time)) bool {
 	switch op.Kind {
 	case raid.OpParityRead, raid.OpParityWrite:
@@ -338,6 +342,7 @@ func barrier(n int, done func(sim.Time)) func(sim.Time) {
 		return nil
 	}
 	remain := n
+	//lint:allow hotalloc sanctioned one-closure-per-request fan-in barrier, mirroring the raid-level barrier (PR 7)
 	return func(t sim.Time) {
 		remain--
 		if remain == 0 {

@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FixResult is one file rewritten by ApplyFixes: the original bytes, the
+// fixed-and-formatted bytes, and how many distinct edits were applied.
+// The caller decides whether to write Fixed back (gcsvet -fix) or render
+// the Diff (gcsvet -fix -diff).
+type FixResult struct {
+	Path  string
+	Orig  []byte
+	Fixed []byte
+	Edits int
+}
+
+// ApplyFixes materializes every finding's attached Fix against the files
+// on disk and returns the rewritten contents, formatted with go/format.
+// Nothing is written back. Identical edits from multiple findings (two
+// leaks in one map range share one collect-then-sort rewrite) collapse to
+// a single application; overlapping non-identical edits are an error, as
+// mechanical fixes that disagree need a human.
+func ApplyFixes(fset *token.FileSet, findings []Finding) ([]FixResult, error) {
+	type edit struct {
+		start, end  int
+		replacement string
+	}
+	byFile := make(map[string][]edit)
+	imports := make(map[string][]string)
+	for _, f := range findings {
+		fx := f.Fix
+		if fx == nil {
+			continue
+		}
+		start := fset.Position(fx.Start)
+		end := fset.Position(fx.End)
+		if start.Filename == "" || start.Filename != end.Filename || end.Offset < start.Offset {
+			return nil, fmt.Errorf("lint: invalid fix range for %s", f.Pos)
+		}
+		byFile[start.Filename] = append(byFile[start.Filename], edit{start.Offset, end.Offset, fx.Replacement})
+		imports[start.Filename] = append(imports[start.Filename], fx.NeedImport...)
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var out []FixResult
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		edits := byFile[path]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		kept := edits[:0]
+		for _, e := range edits {
+			if len(kept) > 0 {
+				prev := kept[len(kept)-1]
+				if e == prev {
+					continue // the same rewrite reported twice
+				}
+				if e.start < prev.end {
+					return nil, fmt.Errorf("lint: conflicting fixes in %s around offset %d", path, e.start)
+				}
+			}
+			if e.end > len(src) {
+				return nil, fmt.Errorf("lint: fix range past end of %s", path)
+			}
+			kept = append(kept, e)
+		}
+		fixed := append([]byte(nil), src...)
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			fixed = append(fixed[:e.start], append([]byte(e.replacement), fixed[e.end:]...)...)
+		}
+		fixed, err = insertImports(fixed, imports[path])
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixing %s: %v", path, err)
+		}
+		formatted, err := format.Source(fixed)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixed %s does not parse: %v", path, err)
+		}
+		out = append(out, FixResult{Path: path, Orig: src, Fixed: formatted, Edits: len(kept)})
+	}
+	return out, nil
+}
+
+// insertImports adds any missing import paths to the file source. The
+// result is re-formatted by the caller, so placement only needs to be
+// syntactically valid: an existing parenthesized block gains lines before
+// its closing paren, and a file without one gains standalone import
+// statements after the last existing import (or the package clause).
+func insertImports(src []byte, paths []string) ([]byte, error) {
+	if len(paths) == 0 {
+		return src, nil
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixed.go", src, parser.ImportsOnly)
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[string]bool)
+	for _, imp := range f.Imports {
+		if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+			have[p] = true
+		}
+	}
+	missing := make([]string, 0, len(paths))
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		if !have[p] && !seen[p] {
+			missing = append(missing, p)
+			seen[p] = true
+		}
+	}
+	if len(missing) == 0 {
+		return src, nil
+	}
+	sort.Strings(missing)
+
+	var at int
+	var text string
+	block := false
+	for _, d := range f.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			at = fset.Position(gd.Rparen).Offset
+			block = true
+		} else {
+			at = fset.Position(gd.End()).Offset
+		}
+	}
+	if block {
+		var sb strings.Builder
+		for _, p := range missing {
+			fmt.Fprintf(&sb, "\t%q\n", p)
+		}
+		text = sb.String()
+	} else {
+		if at == 0 {
+			at = fset.Position(f.Name.End()).Offset
+		}
+		var sb strings.Builder
+		for _, p := range missing {
+			fmt.Fprintf(&sb, "\nimport %q", p)
+		}
+		text = sb.String()
+	}
+	out := append([]byte(nil), src[:at]...)
+	out = append(out, []byte(text)...)
+	out = append(out, src[at:]...)
+	return out, nil
+}
+
+// Diff renders a compact unified diff between the original and fixed
+// contents: common prefix and suffix lines are elided into one hunk
+// header. Enough for a human (or a CI log) to see exactly what -fix
+// would change.
+func (r FixResult) Diff() string {
+	a := splitLines(string(r.Orig))
+	b := splitLines(string(r.Fixed))
+	p := 0
+	for p < len(a) && p < len(b) && a[p] == b[p] {
+		p++
+	}
+	s := 0
+	for s < len(a)-p && s < len(b)-p && a[len(a)-1-s] == b[len(b)-1-s] {
+		s++
+	}
+	amid, bmid := a[p:len(a)-s], b[p:len(b)-s]
+	if len(amid) == 0 && len(bmid) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", r.Path, r.Path)
+	fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", p+1, len(amid), p+1, len(bmid))
+	for _, l := range amid {
+		sb.WriteString("-" + strings.TrimSuffix(l, "\n"))
+		sb.WriteString("\n")
+	}
+	for _, l := range bmid {
+		sb.WriteString("+" + strings.TrimSuffix(l, "\n"))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	lines := strings.SplitAfter(s, "\n")
+	if len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	return lines
+}

@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMaporderFixApplied drives the collect-then-sort rewrite end to end:
+// the maporder fixture's key-only range gains a sorted-keys loop and the
+// result formats cleanly.
+func TestMaporderFixApplied(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/maporder/bad", "fixtures/maporder/bad")
+	analyzers, _ := ByName("maporder")
+	findings := Run([]*Package{pkg}, analyzers)
+	var withFix []Finding
+	for _, f := range findings {
+		if f.Fix != nil {
+			withFix = append(withFix, f)
+		}
+	}
+	if len(withFix) == 0 {
+		t.Fatal("no maporder finding carries a fix; unsortedAppend should")
+	}
+	results, err := ApplyFixes(pkg.Fset, withFix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("ApplyFixes rewrote %d files, want 1", len(results))
+	}
+	fixed := string(results[0].Fixed)
+	for _, want := range []string{
+		"ks := make([]string, 0, len(m))",
+		"sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })",
+		"for _, k := range ks {",
+	} {
+		if !strings.Contains(fixed, want) {
+			t.Errorf("fixed source missing %q", want)
+		}
+	}
+	if d := results[0].Diff(); !strings.HasPrefix(d, "--- ") || !strings.Contains(d, "+\tsort.Slice(ks") {
+		t.Errorf("diff does not show the rewrite:\n%s", d)
+	}
+}
+
+// TestPreallocFixApplied checks hotalloc's preallocation hint: the bare
+// var declaration becomes a capacity-sized make.
+func TestPreallocFixApplied(t *testing.T) {
+	pkg := loadFixture(t, "testdata/src/hotalloc/bad", "fixtures/hotalloc/bad")
+	analyzers, _ := ByName("hotalloc")
+	findings := Run([]*Package{pkg}, analyzers)
+	var withFix []Finding
+	for _, f := range findings {
+		if f.Fix != nil {
+			withFix = append(withFix, f)
+		}
+	}
+	if len(withFix) != 1 {
+		t.Fatalf("got %d hotalloc findings with fixes, want 1 (direct's append)", len(withFix))
+	}
+	results, err := ApplyFixes(pkg.Fset, withFix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !strings.Contains(string(results[0].Fixed), "out := make([]int, 0, len(vals))") {
+		t.Fatalf("preallocation hint not applied:\n%s", results[0].Fixed)
+	}
+}
+
+// TestApplyFixesImportsAndConflicts covers import insertion into a file
+// without the needed import, duplicate-edit dedup, and the overlap error.
+func TestApplyFixesImportsAndConflicts(t *testing.T) {
+	src := "package p\n\nfunc f() int {\n\treturn 1\n}\n"
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tmp.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the whole body of f with a sort call, requiring the import.
+	body := f.Decls[0].(*ast.FuncDecl).Body
+	fix := &Fix{
+		Start:       body.Pos(),
+		End:         body.End(),
+		Replacement: "{\n\tsort.Strings(nil)\n\treturn 1\n}",
+		NeedImport:  []string{"sort"},
+	}
+	findings := []Finding{
+		{Analyzer: "maporder", Fix: fix},
+		{Analyzer: "maporder", Fix: fix}, // the same rewrite twice: dedup
+	}
+	results, err := ApplyFixes(fset, findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Edits != 1 {
+		t.Fatalf("got %d results, %d edits; want 1, 1", len(results), results[0].Edits)
+	}
+	fixed := string(results[0].Fixed)
+	if !strings.Contains(fixed, "import \"sort\"") {
+		t.Errorf("missing inserted import:\n%s", fixed)
+	}
+	if !strings.Contains(fixed, "sort.Strings(nil)") {
+		t.Errorf("replacement not applied:\n%s", fixed)
+	}
+
+	// Overlapping, non-identical fixes must refuse to apply.
+	conflict := []Finding{
+		{Analyzer: "maporder", Fix: &Fix{Start: body.Pos(), End: body.End(), Replacement: "{}"}},
+		{Analyzer: "maporder", Fix: &Fix{Start: body.Pos() + 1, End: body.End(), Replacement: "{ return 2 }"}},
+	}
+	if _, err := ApplyFixes(fset, conflict); err == nil {
+		t.Fatal("overlapping fixes should error")
+	}
+}

@@ -24,7 +24,7 @@ func exportsForFixtures(t *testing.T) map[string]string {
 	t.Helper()
 	fixtureExports.once.Do(func() {
 		fixtureExports.m, fixtureExports.err = ExportData(".",
-			"time", "math/rand", "sort",
+			"fmt", "time", "math/rand", "sort",
 			"gcsteering", "gcsteering/internal/obs", "gcsteering/internal/sim")
 	})
 	if fixtureExports.err != nil {
@@ -108,6 +108,9 @@ func TestFixtures(t *testing.T) {
 		{"nilrecv-callers", "nilrecv", "fixtures/caller", "testdata/src/nilrecv/caller"},
 		{"units-violations", "units", "fixtures/units/bad", "testdata/src/units/bad"},
 		{"units-malformed-directive", "units", "fixtures/units/directive", "testdata/src/units/directive"},
+		{"hotalloc-reachability", "hotalloc", "fixtures/hotalloc/bad", "testdata/src/hotalloc/bad"},
+		{"inert-guards", "inert", "fixtures/inert/bad", "testdata/src/inert/bad"},
+		{"suppaudit-stale", "suppaudit", "fixtures/suppaudit/bad", "testdata/src/suppaudit/bad"},
 	}
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
@@ -167,8 +170,8 @@ func TestRepoIsClean(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
 	}
 	two, err := ByName("units, nodeterm")
 	if err != nil || len(two) != 2 {

@@ -31,6 +31,18 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding (applied by gcsvet -fix).
+	Fix *Fix
+}
+
+// Fix is one textual rewrite: replace the source bytes spanning
+// [Start, End) with Replacement. NeedImport lists package paths the
+// replacement references, inserted into the file's imports if absent.
+type Fix struct {
+	Start, End  token.Pos
+	Replacement string
+	NeedImport  []string
 }
 
 // String renders the finding in the conventional file:line:col form.
@@ -38,16 +50,20 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Analyzer is one named rule set run over a type-checked package.
+// Analyzer is one named rule set. Intraprocedural analyzers set Run and
+// are invoked once per package; interprocedural ones set RunProgram and
+// are invoked once with the whole-module Program (call graph included).
+// Exactly one of the two must be set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(p *Package) []Finding
+	Name       string
+	Doc        string
+	Run        func(p *Package) []Finding
+	RunProgram func(prog *Program) []Finding
 }
 
 // All returns the full gcsvet suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterm(), Maporder(), Nilrecv(), Units()}
+	return []*Analyzer{Nodeterm(), Maporder(), Nilrecv(), Units(), Hotalloc(), Inert(), Suppaudit()}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -74,6 +90,7 @@ func ByName(names string) ([]*Analyzer, error) {
 // allowDirective is one parsed //lint:allow comment.
 type allowDirective struct {
 	line     int
+	col      int
 	analyzer string
 	reason   string
 }
@@ -109,6 +126,7 @@ func directives(p *Package) (map[string][]allowDirective, []Finding) {
 				}
 				out[pos.Filename] = append(out[pos.Filename], allowDirective{
 					line:     pos.Line,
+					col:      pos.Column,
 					analyzer: fields[0],
 					reason:   strings.Join(fields[1:], " "),
 				})
@@ -129,18 +147,43 @@ func suppressed(f Finding, dirs map[string][]allowDirective) bool {
 	return false
 }
 
+// runAnalyzer invokes one analyzer over the whole program, routing to
+// its package-level or program-level entry point.
+func runAnalyzer(a *Analyzer, prog *Program) []Finding {
+	if a.RunProgram != nil {
+		return a.RunProgram(prog)
+	}
+	var out []Finding
+	for _, p := range prog.Pkgs {
+		out = append(out, a.Run(p)...)
+	}
+	return out
+}
+
 // Run executes the analyzers over every package and returns the surviving
-// findings sorted by position.
+// findings sorted by position. Directive suppression is keyed by file, so
+// program-level findings are matched against the directives of whichever
+// package owns the flagged file.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	prog := NewProgram(pkgs)
+	dirs := make(map[string][]allowDirective)
 	var out []Finding
 	for _, p := range pkgs {
-		dirs, bad := directives(p)
+		d, bad := directives(p)
 		out = append(out, bad...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(p) {
-				if !suppressed(f, dirs) {
-					out = append(out, f)
-				}
+		files := make([]string, 0, len(d))
+		for file := range d {
+			files = append(files, file)
+		}
+		sort.Strings(files)
+		for _, file := range files {
+			dirs[file] = append(dirs[file], d[file]...)
+		}
+	}
+	for _, a := range analyzers {
+		for _, f := range runAnalyzer(a, prog) {
+			if !suppressed(f, dirs) {
+				out = append(out, f)
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Suppaudit keeps the allowlist honest: a //lint:allow directive that no
+// longer suppresses any diagnostic is itself an error. Code churns —
+// the flagged construct gets refactored away, an analyzer's rules
+// sharpen — and a stale suppression is worse than none, because it
+// documents a sanction that nothing needs and will silently swallow the
+// next real finding at that line.
+//
+// It works by re-running every other analyzer over the program without
+// suppression and checking each well-formed directive against the raw
+// findings. Malformed directives are still reported by the driver.
+func Suppaudit() *Analyzer {
+	a := &Analyzer{
+		Name: "suppaudit",
+		Doc:  "flag //lint:allow directives that no longer suppress any diagnostic",
+	}
+	a.RunProgram = func(prog *Program) []Finding {
+		var raw []Finding
+		for _, other := range All() {
+			if other.Name == a.Name {
+				continue
+			}
+			raw = append(raw, runAnalyzer(other, prog)...)
+		}
+		// The interprocedural analyzers only produce findings when their
+		// annotations are in the loaded program: running gcsvet on a
+		// package subset that excludes every //gcsvet:hot root (or inert
+		// field) would make all their allows look stale. Audit those
+		// directives only when the annotations are present.
+		auditable := map[string]bool{}
+		for _, other := range All() {
+			auditable[other.Name] = true
+		}
+		auditable["hotalloc"] = len(prog.hotReachable()) > 0
+		auditable["inert"] = len(collectInertFields(prog)) > 0
+		var out []Finding
+		for _, p := range prog.Pkgs {
+			dirs, _ := directives(p)
+			files := make([]string, 0, len(dirs))
+			for file := range dirs {
+				files = append(files, file)
+			}
+			sort.Strings(files)
+			for _, file := range files {
+				for _, d := range dirs[file] {
+					if !auditable[d.analyzer] || directiveUsed(file, d, raw) {
+						continue
+					}
+					out = append(out, Finding{
+						Pos:      token.Position{Filename: file, Line: d.line, Column: d.col},
+						Analyzer: a.Name,
+						Message:  fmt.Sprintf("stale //lint:allow %s: no %s diagnostic is suppressed here", d.analyzer, d.analyzer),
+					})
+				}
+			}
+		}
+		return out
+	}
+	return a
+}
+
+// directiveUsed reports whether the directive suppresses at least one
+// raw finding (same file and analyzer, on the directive's line or the
+// line below — the mirror of suppressed()).
+func directiveUsed(file string, d allowDirective, raw []Finding) bool {
+	for _, f := range raw {
+		if f.Analyzer == d.analyzer && f.Pos.Filename == file &&
+			(f.Pos.Line == d.line || f.Pos.Line == d.line+1) {
+			return true
+		}
+	}
+	return false
+}

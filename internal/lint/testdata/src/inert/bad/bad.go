@@ -1,0 +1,88 @@
+// Package bad exercises inert: optional //gcsvet:inert fields must be
+// consumed behind their zero-value guard, plumbing copies are sanctioned,
+// and obs emissions outside internal/obs need an Enabled() gate.
+package bad
+
+import (
+	"gcsteering/internal/obs"
+	"gcsteering/internal/sim"
+)
+
+type Config struct {
+	// Journal arms the optional intent journal.
+	//gcsvet:inert
+	Journal bool
+	// RateMBps caps an optional pacer; <= 0 disables it.
+	//gcsvet:inert
+	RateMBps float64
+	// Name is not optional and may be read freely.
+	Name string
+}
+
+type mirror struct {
+	//gcsvet:inert
+	Journal bool
+}
+
+type sinkKnobs struct {
+	//gcsvet:inert
+	Armed bool
+}
+
+type rawSink struct {
+	armed bool
+}
+
+func use(float64) {}
+
+func guarded(c Config) {
+	if c.RateMBps > 0 {
+		use(c.RateMBps)
+	}
+}
+
+func taintedGuard(c Config) {
+	rate := c.RateMBps * 2
+	if rate > 0 {
+		use(c.RateMBps)
+	}
+}
+
+func unguarded(c Config) {
+	use(c.RateMBps) // want "reads optional field fixtures/inert/bad.Config.RateMBps outside its zero-value guard"
+}
+
+func freeName(c Config) string {
+	return c.Name
+}
+
+// rate is a method of the declaring type: owner methods read freely.
+func (c Config) rate() float64 {
+	return c.RateMBps
+}
+
+func sameNamePlumbing(c Config) mirror {
+	return mirror{Journal: c.Journal}
+}
+
+func inertDestPlumbing(c Config) sinkKnobs {
+	return sinkKnobs{Armed: c.Journal}
+}
+
+func consume(rawSink) {}
+
+func rawDestLeak(c Config) {
+	consume(rawSink{armed: c.Journal}) // want "reads optional field fixtures/inert/bad.Config.Journal outside its zero-value guard"
+}
+
+func emits(tr *obs.Tracer, now sim.Time) {
+	tr.Emit(now, obs.Event{}) // want "Tracer.Emit outside an Enabled.. guard"
+	if tr.Enabled() {
+		tr.Emit(now, obs.Event{})
+	}
+	on := tr.Enabled()
+	if on {
+		tr.RunStart(now, "run")
+	}
+	tr.RunStart(now, "run") // want "Tracer.RunStart outside an Enabled.. guard"
+}

@@ -1,0 +1,30 @@
+// Package bad exercises suppaudit: an allow that suppresses a live
+// diagnostic is honest, one that suppresses nothing is itself an error.
+package bad
+
+import "math/rand"
+
+// seeded genuinely violates nodeterm, so its allow is in use.
+func seeded() int {
+	//lint:allow nodeterm fixture: deliberate global randomness to keep this allow live
+	return rand.Int()
+}
+
+// clean violates nothing; its allow is stale.
+func clean() int {
+	//lint:allow nodeterm fixture: nothing here needs this // want "stale //lint:allow nodeterm: no nodeterm diagnostic is suppressed here"
+	return 1
+}
+
+// hotRoot makes the program carry a //gcsvet:hot annotation, so hotalloc
+// allows are auditable (suppaudit skips them when no roots are loaded).
+//
+//gcsvet:hot
+func hotRoot() int {
+	return add(1, 2)
+}
+
+func add(a, b int) int {
+	//lint:allow hotalloc fixture: stale, nothing allocates here // want "stale //lint:allow hotalloc: no hotalloc diagnostic is suppressed here"
+	return a + b
+}

@@ -74,6 +74,7 @@ func (r *Recorder) Observe(t, value int64) {
 		r.hists = append(r.hists, nil)
 	}
 	if r.hists[idx] == nil {
+		//lint:allow hotalloc one histogram per time window under opt-in quantile tracking, not per sample
 		r.hists[idx] = &Hist{}
 	}
 	r.hists[idx].Observe(value)

@@ -447,6 +447,13 @@ func (d *Device) ForceGC(now sim.Time) {
 // as a GCExtension rather than a fresh GCEpisode, and OnGCStart is NOT
 // re-fired — under GGC a re-fire would launch a redundant global forced
 // round for what is physically the same episode.
+//
+// gcsvet: GC planning is episodic — its bookkeeping amortizes over the
+// whole episode and the plan arena is reused (PR 7), so it is a cold
+// boundary for hotalloc rather than part of the per-request budget. The
+// bench gate still measures its real cost.
+//
+//gcsvet:cold
 func (d *Device) startGC(now sim.Time, targetFree, minVictims int, forced bool) {
 	plan := d.ftl.CollectUntil(targetFree, minVictims)
 	if plan.Empty() {
